@@ -1,0 +1,23 @@
+//! SABRE mapping benchmarks on the 10x10 grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsb_compiler::{sabre_route, SabreConfig};
+use nsb_core::prelude::*;
+
+fn bench_sabre(c: &mut Criterion) {
+    let topo = GridTopology::new(10, 10);
+    let cfg = SabreConfig::default();
+    let mut group = c.benchmark_group("routing/sabre");
+    group.sample_size(10);
+    for (name, circuit) in [
+        ("qft20", generators::qft(20, true)),
+        ("bv49", generators::bv_all_ones(49)),
+        ("cuccaro20", generators::cuccaro_adder(9)),
+    ] {
+        group.bench_function(name, |b| b.iter(|| sabre_route(&circuit, &topo, &cfg)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sabre);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Pulse-simulation benchmarks: the per-edge cost of trajectory
+//! generation that dominates device calibration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsb_core::prelude::*;
+
+fn bench_trajectory(c: &mut Criterion) {
+    let cell = PreparedCell::prepare(&UnitCellParams::default());
+    let mut group = c.benchmark_group("sim/trajectory");
+    group.sample_size(10);
+    group.bench_function("strong_drive_20ns", |b| {
+        let cfg = TrajectoryConfig {
+            t_max: 20.0,
+            drive_scan_points: 1,
+            ..TrajectoryConfig::default()
+        };
+        b.iter(|| cell.trajectory(0.04, &cfg))
+    });
+    group.bench_function("zero_zz_bias_search", |b| {
+        b.iter(|| PreparedCell::prepare(&UnitCellParams::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trajectory);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Regenerates Figure 7: the 10x10 device sketch with its checkerboard
+//! frequency allocation, plus the edge-coloring used to parallelize
+//! calibration (Section VI: a grid needs 4 colors).
+//!
+//! Run with: `cargo run --release -p nsb-bench --bin fig7_device`
+
+use nsb_core::prelude::*;
+use nsb_device::FrequencyAllocation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2022u64);
+    let grid = GridTopology::new(10, 10);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let alloc = FrequencyAllocation::sample(&grid, &FrequencyPlan::default(), &mut rng);
+    println!("10x10 grid, checkerboard frequency groups (GHz), seed {seed}:\n");
+    for r in 0..10 {
+        let mut line = String::new();
+        for c in 0..10 {
+            let q = grid.qubit_at(r, c);
+            let tag = if alloc.is_high_group(q) { 'H' } else { 'L' };
+            line.push_str(&format!("{tag}{:5.2} ", alloc.frequency(q)));
+        }
+        println!("{line}");
+    }
+    let lows: Vec<f64> = (0..100)
+        .filter(|&q| !alloc.is_high_group(q))
+        .map(|q| alloc.frequency(q))
+        .collect();
+    let highs: Vec<f64> = (0..100)
+        .filter(|&q| alloc.is_high_group(q))
+        .map(|q| alloc.frequency(q))
+        .collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\nlow group:  mean {:.3} GHz ({} qubits)   [plan: 4.3]",
+        mean(&lows),
+        lows.len()
+    );
+    println!(
+        "high group: mean {:.3} GHz ({} qubits)   [plan: 6.3]",
+        mean(&highs),
+        highs.len()
+    );
+    let detunings: Vec<f64> = grid
+        .edges()
+        .iter()
+        .map(|&(a, b)| (alloc.frequency(a) - alloc.frequency(b)).abs())
+        .collect();
+    let min_det = detunings.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "per-edge detuning: min {:.2} GHz, mean {:.2} GHz (every pair far detuned)",
+        min_det,
+        mean(&detunings)
+    );
+    // Edge coloring for parallel calibration.
+    let colors = grid.edge_coloring();
+    let mut counts = [0usize; 4];
+    for &c in &colors {
+        counts[c] += 1;
+    }
+    println!(
+        "\nedge coloring for parallel calibration: {} colors, group sizes {:?}",
+        counts.iter().filter(|&&c| c > 0).count(),
+        counts
+    );
+    println!("=> calibration overhead does not scale with device size (Section VI)");
+}

@@ -1,0 +1,70 @@
+//! Regenerates Table I: average duration and coherence-limited fidelity of
+//! the 2Q basis gates and the synthesized SWAP / CNOT gates, for the
+//! Baseline, Criterion 1 and Criterion 2 strategies, on the full 10x10
+//! case-study device.
+//!
+//! Run with: `cargo run --release -p nsb-bench --bin table1`
+
+use nsb_core::prelude::*;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2022u64);
+    eprintln!("building 10x10 case-study device (seed {seed})...");
+    let t0 = std::time::Instant::now();
+    let device = build_case_study_device(seed).expect("device build");
+    eprintln!(
+        "device ready in {:.1} s ({} edges)",
+        t0.elapsed().as_secs_f64(),
+        device.edges().len()
+    );
+
+    println!("Table I — average duration (ns) and coherence-limited fidelity");
+    println!("(paper values in brackets; T = 80 us, 1Q gates = 20 ns)\n");
+    println!(
+        "{:<12} {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10}",
+        "Strategy", "Basis ns", "Basis F", "SWAP ns", "SWAP F", "CNOT ns", "CNOT F"
+    );
+    let paper = [
+        ("Baseline", 83.04, 0.99884, 329.1, 0.99541, 226.1, 0.99684),
+        ("Criterion 1", 10.15, 0.99986, 110.5, 0.99845, 110.5, 0.99845),
+        ("Criterion 2", 10.76, 0.99985, 112.3, 0.99843, 81.51, 0.99886),
+    ];
+    let mut rows = Vec::new();
+    for (strategy, p) in BasisStrategy::ALL.iter().zip(paper) {
+        let row = device.table1_row(*strategy);
+        println!(
+            "{:<12} {:>10.2} {:>10.5} | {:>10.1} {:>10.5} | {:>10.1} {:>10.5}",
+            format!("{strategy}"),
+            row.basis_duration,
+            row.basis_fidelity,
+            row.swap_duration,
+            row.swap_fidelity,
+            row.cnot_duration,
+            row.cnot_fidelity
+        );
+        println!(
+            "{:<12} {:>10.2} {:>10.5} | {:>10.1} {:>10.5} | {:>10.1} {:>10.5}",
+            "  [paper]", p.1, p.2, p.3, p.4, p.5, p.6
+        );
+        rows.push(row);
+    }
+    let speedup = rows[0].basis_duration / rows[1].basis_duration;
+    let swap_speedup_1 = rows[0].swap_duration / rows[1].swap_duration;
+    let swap_speedup_2 = rows[0].swap_duration / rows[2].swap_duration;
+    let cnot_speedup_1 = rows[0].cnot_duration / rows[1].cnot_duration;
+    let cnot_speedup_2 = rows[0].cnot_duration / rows[2].cnot_duration;
+    println!("\nshape checks (paper values in brackets):");
+    println!("  basis-gate speedup, Criterion 1 vs baseline: {speedup:.1}x   [~8x]");
+    println!("  SWAP speedup:  C1 {swap_speedup_1:.1}x, C2 {swap_speedup_2:.1}x   [3.0x, 2.9x]");
+    println!("  CNOT speedup:  C1 {cnot_speedup_1:.1}x, C2 {cnot_speedup_2:.1}x   [2.0x, 2.8x]");
+    let mean_leak: f64 = device
+        .edges()
+        .iter()
+        .map(|e| e.criterion1.leakage)
+        .sum::<f64>()
+        / device.edges().len() as f64;
+    println!("  mean Criterion-1 basis-gate leakage: {mean_leak:.2e}");
+}

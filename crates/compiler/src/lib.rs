@@ -1,0 +1,32 @@
+//! # nsb-compiler
+//!
+//! The transpiler of the MICRO 2022 reproduction: SABRE layout and routing
+//! onto the grid device, lowering of routed circuits into each edge's own
+//! (possibly nonstandard) basis gate via cached numerical decompositions,
+//! single-qubit gate merging, ASAP scheduling and the paper's
+//! coherence-limited fidelity model.
+//!
+//! ```no_run
+//! use nsb_circuit::generators;
+//! use nsb_compiler::Transpiler;
+//! use nsb_device::{BasisStrategy, Device, DeviceConfig};
+//!
+//! let device = Device::build(10, 10, DeviceConfig::default()).unwrap();
+//! let qft = generators::qft(10, true);
+//! let compiled = Transpiler::new(&device, BasisStrategy::Criterion2)
+//!     .compile(&qft)
+//!     .unwrap();
+//! println!("duration {:.1} ns, fidelity {:.3}", compiled.schedule.duration, compiled.fidelity);
+//! ```
+
+#![warn(missing_docs)]
+
+mod lower;
+mod pipeline;
+mod sabre;
+mod schedule;
+
+pub use lower::{merge_locals, swap_conjugate, CacheKey, Lowerer, LoweredOp, LoweringMode};
+pub use pipeline::{verify_compiled, CompileError, CompiledCircuit, Transpiler};
+pub use sabre::{sabre_route, Layout, RoutedCircuit, SabreConfig};
+pub use schedule::{schedule, Schedule};

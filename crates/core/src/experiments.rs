@@ -1,0 +1,211 @@
+//! Shared experiment harness: the benchmark suite of Table II and the
+//! end-to-end device -> compile -> evaluate flows that the table/figure
+//! binaries and examples reuse.
+
+use nsb_circuit::{generators, Circuit};
+use nsb_compiler::{CompiledCircuit, Transpiler};
+use nsb_device::{BasisStrategy, Device, DeviceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named benchmark instance.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Display name matching the paper's Table II rows (e.g. `qft 10`).
+    pub name: String,
+    /// The logical circuit.
+    pub circuit: Circuit,
+}
+
+/// The benchmark suite of Table II: `qft 10/20`, `bv 9..99`,
+/// `cuccaro 10/20`, `qaoa 0.1/0.33 x sizes` (all p = 1). Graph instances
+/// are seeded deterministically.
+pub fn table2_suite(seed: u64) -> Vec<Benchmark> {
+    let mut suite = Vec::new();
+    for n in [10usize, 20] {
+        suite.push(Benchmark {
+            name: format!("qft {n}"),
+            circuit: generators::qft(n, true),
+        });
+    }
+    for n in (9..=99).step_by(10) {
+        suite.push(Benchmark {
+            name: format!("bv {n}"),
+            circuit: generators::bv_all_ones(n),
+        });
+    }
+    for n in [10usize, 20] {
+        // `cuccaro N` = N total qubits = 2k + 2 for k-bit operands.
+        let bits = (n - 2) / 2;
+        suite.push(Benchmark {
+            name: format!("cuccaro {n}"),
+            circuit: generators::cuccaro_adder(bits),
+        });
+    }
+    // Extension rows: the QFT adder the paper's introduction motivates
+    // (Ruiz-Perez / Garcia-Escartin); `qft_add N` uses two N/2-bit
+    // registers.
+    for n in [10usize, 20] {
+        suite.push(Benchmark {
+            name: format!("qft_add {n}"),
+            circuit: generators::qft_adder(n / 2),
+        });
+    }
+    let (gamma, beta) = (0.4, 0.3);
+    for (prob, sizes) in [(0.1f64, vec![10usize, 20, 30, 40]), (0.33, vec![10, 20])] {
+        for n in sizes {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((n as u64) << 8) ^ prob.to_bits());
+            suite.push(Benchmark {
+                name: format!("qaoa {prob} {n}"),
+                circuit: generators::qaoa_maxcut(n, prob, gamma, beta, &mut rng),
+            });
+        }
+    }
+    suite
+}
+
+/// A smaller suite for quick runs and integration tests.
+pub fn small_suite(seed: u64) -> Vec<Benchmark> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        Benchmark {
+            name: "qft 5".into(),
+            circuit: generators::qft(5, true),
+        },
+        Benchmark {
+            name: "bv 5".into(),
+            circuit: generators::bv_all_ones(5),
+        },
+        Benchmark {
+            name: "cuccaro 6".into(),
+            circuit: generators::cuccaro_adder(2),
+        },
+        Benchmark {
+            name: "qaoa 0.33 5".into(),
+            circuit: generators::qaoa_maxcut(5, 0.33, 0.4, 0.3, &mut rng),
+        },
+    ]
+}
+
+/// One row of a Table II style report.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Logical two-qubit gate count.
+    pub logical_2q: usize,
+    /// Per-strategy results in [`BasisStrategy::ALL`] order.
+    pub results: [StrategyResult; 3],
+}
+
+/// Compilation metrics for one strategy.
+#[derive(Clone, Debug)]
+pub struct StrategyResult {
+    /// Coherence-limited circuit fidelity.
+    pub fidelity: f64,
+    /// Total circuit duration (ns).
+    pub duration: f64,
+    /// SWAPs inserted by routing.
+    pub swaps: usize,
+    /// Native entangler applications after lowering.
+    pub entanglers: usize,
+}
+
+/// Compiles one benchmark under every strategy.
+///
+/// # Errors
+///
+/// Returns the compile error of the first failing strategy.
+pub fn evaluate_benchmark(
+    device: &Device,
+    bench: &Benchmark,
+) -> Result<Table2Row, nsb_compiler::CompileError> {
+    let mut results = Vec::with_capacity(3);
+    for strategy in BasisStrategy::ALL {
+        let compiled = Transpiler::new(device, strategy).compile(&bench.circuit)?;
+        results.push(StrategyResult {
+            fidelity: compiled.fidelity,
+            duration: compiled.schedule.duration,
+            swaps: compiled.swaps_inserted,
+            entanglers: compiled.schedule.entangler_count,
+        });
+    }
+    Ok(Table2Row {
+        name: bench.name.clone(),
+        logical_2q: bench.circuit.two_qubit_count(),
+        results: [
+            results[0].clone(),
+            results[1].clone(),
+            results[2].clone(),
+        ],
+    })
+}
+
+/// Convenience: compiles a circuit under one strategy.
+///
+/// # Errors
+///
+/// Propagates compile errors.
+pub fn compile_on(
+    device: &Device,
+    strategy: BasisStrategy,
+    circuit: &Circuit,
+) -> Result<CompiledCircuit, nsb_compiler::CompileError> {
+    Transpiler::new(device, strategy).compile(circuit)
+}
+
+/// Builds the paper's full 10x10 case-study device (expensive: simulates
+/// 180 edges; a few minutes of CPU, parallelized).
+///
+/// # Errors
+///
+/// Propagates device build errors.
+pub fn build_case_study_device(seed: u64) -> Result<Device, nsb_device::DeviceBuildError> {
+    Device::build(
+        10,
+        10,
+        DeviceConfig {
+            seed,
+            ..DeviceConfig::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table2_rows() {
+        let suite = table2_suite(7);
+        assert_eq!(suite.len(), 2 + 10 + 2 + 2 + 6);
+        let names: Vec<&str> = suite.iter().map(|b| b.name.as_str()).collect();
+        assert!(names.contains(&"qft 20"));
+        assert!(names.contains(&"bv 99"));
+        assert!(names.contains(&"cuccaro 10"));
+        assert!(names.contains(&"qft_add 20"));
+        assert!(names.contains(&"qaoa 0.33 20"));
+        // Qubit budgets all fit the 10x10 grid.
+        for b in &suite {
+            assert!(b.circuit.n_qubits() <= 100, "{} too large", b.name);
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = table2_suite(7);
+        let b = table2_suite(7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.circuit, y.circuit, "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn cuccaro_sizing_matches_names() {
+        let suite = table2_suite(7);
+        let c10 = suite.iter().find(|b| b.name == "cuccaro 10").unwrap();
+        assert_eq!(c10.circuit.n_qubits(), 10);
+        let c20 = suite.iter().find(|b| b.name == "cuccaro 20").unwrap();
+        assert_eq!(c20.circuit.n_qubits(), 20);
+    }
+}

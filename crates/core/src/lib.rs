@@ -1,0 +1,71 @@
+//! # nsb-core
+//!
+//! Facade crate for the reproduction of *Let Each Quantum Bit Choose Its
+//! Basis Gates* (MICRO 2022): re-exports every subsystem and provides the
+//! shared experiment harness used by the table/figure regeneration
+//! binaries.
+//!
+//! ## Subsystems
+//!
+//! * [`math`] — complex linear algebra built from scratch.
+//! * [`weyl`] — Weyl-chamber geometry, Cartan coordinates, synthesis
+//!   regions (the paper's theoretical framework, Section V).
+//! * [`synth`] — numerical gate synthesis with the analytic depth oracle
+//!   (Section VII).
+//! * [`sim`] — the transmon-coupler-transmon pulse simulator
+//!   (Section VIII-B, Appendix A).
+//! * [`circuit`] — circuit IR, statevector simulation, benchmarks.
+//! * [`device`] — the simulated 10x10 device, per-edge basis-gate
+//!   selection and the calibration protocol (Sections V-E, VI).
+//! * [`compiler`] — SABRE mapping and per-edge basis lowering.
+//! * [`experiments`] — Table I / Table II harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nsb_core::prelude::*;
+//!
+//! // Identify a good 2Q basis gate on an idealized nonstandard trajectory.
+//! let coords: Vec<WeylCoord> = (0..=60)
+//!     .map(|k| {
+//!         let t = k as f64 / 60.0;
+//!         WeylCoord::new(0.55 * t, 0.50 * t, 0.08 * t)
+//!     })
+//!     .collect();
+//! let idx = first_crossing(&coords, SelectionCriterion::SwapIn3CnotIn2, 0.15).unwrap();
+//! assert!(can_swap_in_3(coords[idx]) && can_cnot_in_2(coords[idx]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use nsb_circuit as circuit;
+pub use nsb_compiler as compiler;
+pub use nsb_device as device;
+pub use nsb_math as math;
+pub use nsb_sim as sim;
+pub use nsb_synth as synth;
+pub use nsb_weyl as weyl;
+
+pub mod experiments;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::experiments::{
+        build_case_study_device, compile_on, evaluate_benchmark, small_suite, table2_suite,
+        Benchmark, StrategyResult, Table2Row,
+    };
+    pub use nsb_circuit::{generators, Circuit, Gate, StateVector};
+    pub use nsb_compiler::{verify_compiled, CompiledCircuit, LoweringMode, Transpiler};
+    pub use nsb_device::{
+        BasisStrategy, Device, DeviceConfig, FrequencyPlan, GridTopology, Table1Row,
+    };
+    pub use nsb_math::{Complex64, DMat, Mat2, Mat4};
+    pub use nsb_sim::{
+        CartanTrajectory, DriveParams, PreparedCell, TrajectoryConfig, UnitCellParams,
+    };
+    pub use nsb_synth::{Decomposer, DecomposerConfig, Synthesized2Q};
+    pub use nsb_weyl::{
+        can_cnot_in_2, can_swap_in_3, entangling_power, first_crossing, is_perfect_entangler,
+        kak_vector, SelectionCriterion, WeylCoord,
+    };
+}

@@ -1,0 +1,503 @@
+//! Heap-allocated dense complex matrices of arbitrary size.
+//!
+//! These back the pulse-level Hamiltonian simulator (27-dimensional Hilbert
+//! spaces) and the generic eigensolver / matrix-exponential routines.
+
+use crate::{Complex64, Mat4};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major complex matrix with runtime dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use nsb_math::DMat;
+/// let i = DMat::identity(3);
+/// assert!((i.clone() * i.clone()).approx_eq(&i, 1e-15));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl DMat {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DMat {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major vector of entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        DMat { rows, cols, data }
+    }
+
+    /// Creates a diagonal matrix from the given entries.
+    pub fn from_diag(diag: &[Complex64]) -> Self {
+        let n = diag.len();
+        let mut m = DMat::zeros(n, n);
+        for (i, d) in diag.iter().enumerate() {
+            m[(i, i)] = *d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw row-major data slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> DMat {
+        let mut m = DMat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                m[(c, r)] = self[(r, c)].conj();
+            }
+        }
+        m
+    }
+
+    /// Transpose without conjugation.
+    pub fn transpose(&self) -> DMat {
+        let mut m = DMat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                m[(c, r)] = self[(r, c)];
+            }
+        }
+        m
+    }
+
+    /// Matrix trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix is not square.
+    pub fn trace(&self) -> Complex64 {
+        assert_eq!(self.rows, self.cols);
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, k: Complex64) -> DMat {
+        let mut m = self.clone();
+        for z in &mut m.data {
+            *z = *z * k;
+        }
+        m
+    }
+
+    /// Kronecker product `self (x) rhs`.
+    pub fn kron(&self, rhs: &DMat) -> DMat {
+        let (ra, ca, rb, cb) = (self.rows, self.cols, rhs.rows, rhs.cols);
+        let mut m = DMat::zeros(ra * rb, ca * cb);
+        for i in 0..ra {
+            for j in 0..ca {
+                let aij = self[(i, j)];
+                if aij == Complex64::ZERO {
+                    continue;
+                }
+                for k in 0..rb {
+                    for l in 0..cb {
+                        m[(i * rb + k, j * cb + l)] = aij * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute column sum (induced 1-norm); used by the matrix
+    /// exponential's scaling heuristic.
+    pub fn one_norm(&self) -> f64 {
+        let mut best = 0.0f64;
+        for c in 0..self.cols {
+            let s: f64 = (0..self.rows).map(|r| self[(r, c)].abs()).sum();
+            best = best.max(s);
+        }
+        best
+    }
+
+    /// Returns true when the matrix is Hermitian within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in r..self.cols {
+                if (self[(r, c)] - self[(c, r)].conj()).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns true when `self` is unitary within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let p = self * &self.adjoint();
+        (&p - &DMat::identity(self.rows)).norm() <= tol
+    }
+
+    /// Entry-wise comparison within `tol` (Frobenius norm of difference).
+    pub fn approx_eq(&self, other: &DMat, tol: f64) -> bool {
+        if self.rows != other.rows || self.cols != other.cols {
+            return false;
+        }
+        (self - other).norm() <= tol
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(v.len(), self.cols);
+        let mut out = vec![Complex64::ZERO; self.rows];
+        for r in 0..self.rows {
+            let mut acc = Complex64::ZERO;
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (a, b) in row.iter().zip(v) {
+                acc += *a * *b;
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// Solves `self * X = B` by Gaussian elimination with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrix`] when a pivot underflows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes are incompatible.
+    pub fn solve(&self, b: &DMat) -> Result<DMat, SingularMatrix> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(self.rows, b.rows, "rhs row mismatch");
+        let n = self.rows;
+        let m = b.cols;
+        let mut a = self.clone();
+        let mut x = b.clone();
+        for col in 0..n {
+            // Partial pivot.
+            let mut piv = col;
+            let mut best = a[(col, col)].abs();
+            for r in (col + 1)..n {
+                let v = a[(r, col)].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < 1e-300 {
+                return Err(SingularMatrix);
+            }
+            if piv != col {
+                for c in 0..n {
+                    let t = a[(col, c)];
+                    a[(col, c)] = a[(piv, c)];
+                    a[(piv, c)] = t;
+                }
+                for c in 0..m {
+                    let t = x[(col, c)];
+                    x[(col, c)] = x[(piv, c)];
+                    x[(piv, c)] = t;
+                }
+            }
+            let inv = a[(col, col)].inv();
+            for r in (col + 1)..n {
+                let f = a[(r, col)] * inv;
+                if f == Complex64::ZERO {
+                    continue;
+                }
+                for c in col..n {
+                    let v = a[(col, c)];
+                    a[(r, c)] -= f * v;
+                }
+                for c in 0..m {
+                    let v = x[(col, c)];
+                    x[(r, c)] -= f * v;
+                }
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let inv = a[(col, col)].inv();
+            for c in 0..m {
+                let mut acc = x[(col, c)];
+                for k in (col + 1)..n {
+                    acc -= a[(col, k)] * x[(k, c)];
+                }
+                x[(col, c)] = acc * inv;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Extracts a 4x4 [`Mat4`] from the top-left corner or a full 4x4.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix is smaller than 4x4.
+    pub fn to_mat4(&self) -> Mat4 {
+        assert!(self.rows >= 4 && self.cols >= 4);
+        let mut m = Mat4::zero();
+        for r in 0..4 {
+            for c in 0..4 {
+                m[(r, c)] = self[(r, c)];
+            }
+        }
+        m
+    }
+
+    /// Embeds a [`Mat4`] as a 4x4 dynamic matrix.
+    pub fn from_mat4(m: &Mat4) -> DMat {
+        let mut d = DMat::zeros(4, 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                d[(r, c)] = m.at(r, c);
+            }
+        }
+        d
+    }
+}
+
+/// Error returned by [`DMat::solve`] when the system is singular.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is singular to working precision")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+impl Index<(usize, usize)> for DMat {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DMat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &DMat {
+    type Output = DMat;
+    fn add(self, rhs: &DMat) -> DMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let mut m = self.clone();
+        for (a, b) in m.data.iter_mut().zip(&rhs.data) {
+            *a += *b;
+        }
+        m
+    }
+}
+
+impl Sub for &DMat {
+    type Output = DMat;
+    fn sub(self, rhs: &DMat) -> DMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let mut m = self.clone();
+        for (a, b) in m.data.iter_mut().zip(&rhs.data) {
+            *a -= *b;
+        }
+        m
+    }
+}
+
+impl Mul for &DMat {
+    type Output = DMat;
+    fn mul(self, rhs: &DMat) -> DMat {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matmul");
+        let mut out = DMat::zeros(self.rows, rhs.cols);
+        // ikj loop order for cache friendliness.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == Complex64::ZERO {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += aik * *b;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Mul for DMat {
+    type Output = DMat;
+    fn mul(self, rhs: DMat) -> DMat {
+        &self * &rhs
+    }
+}
+
+impl fmt::Display for DMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                write!(f, "{} ", self[(r, c)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_multiplication() {
+        let mut a = DMat::zeros(3, 3);
+        for r in 0..3 {
+            for c in 0..3 {
+                a[(r, c)] = Complex64::new((r + 3 * c) as f64, (r as f64) - (c as f64));
+            }
+        }
+        let i = DMat::identity(3);
+        assert!((&a * &i).approx_eq(&a, 1e-15));
+        assert!((&i * &a).approx_eq(&a, 1e-15));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = DMat::from_vec(
+            2,
+            2,
+            vec![
+                Complex64::real(1.0),
+                Complex64::real(2.0),
+                Complex64::real(3.0),
+                Complex64::real(4.0),
+            ],
+        );
+        let b = DMat::identity(3);
+        let k = a.kron(&b);
+        assert_eq!(k.rows(), 6);
+        assert_eq!(k[(0, 0)], Complex64::real(1.0));
+        assert_eq!(k[(3, 0)], Complex64::real(3.0));
+        assert_eq!(k[(4, 1)], Complex64::real(3.0));
+        assert_eq!(k[(5, 5)], Complex64::real(4.0));
+    }
+
+    #[test]
+    fn solve_round_trip() {
+        let n = 5;
+        let mut a = DMat::zeros(n, n);
+        // Deterministic well-conditioned matrix.
+        for r in 0..n {
+            for c in 0..n {
+                let v = ((r * 7 + c * 3) % 11) as f64 / 11.0;
+                a[(r, c)] = Complex64::new(v, ((r + 2 * c) % 5) as f64 / 7.0);
+            }
+            a[(r, r)] += Complex64::real(3.0);
+        }
+        let b = DMat::identity(n);
+        let x = a.solve(&b).unwrap();
+        assert!((&a * &x).approx_eq(&DMat::identity(n), 1e-10));
+    }
+
+    #[test]
+    fn solve_singular_reports_error() {
+        let a = DMat::zeros(3, 3);
+        assert_eq!(a.solve(&DMat::identity(3)), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn hermitian_detection() {
+        let mut h = DMat::zeros(2, 2);
+        h[(0, 0)] = Complex64::real(1.0);
+        h[(1, 1)] = Complex64::real(-2.0);
+        h[(0, 1)] = Complex64::new(0.5, 0.25);
+        h[(1, 0)] = Complex64::new(0.5, -0.25);
+        assert!(h.is_hermitian(1e-15));
+        h[(1, 0)] = Complex64::new(0.5, 0.25);
+        assert!(!h.is_hermitian(1e-15));
+    }
+
+    #[test]
+    fn mat4_round_trip() {
+        let m = Mat4::cnot();
+        let d = DMat::from_mat4(&m);
+        assert!(d.to_mat4().approx_eq(&m, 1e-15));
+        assert!(d.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn mul_vec_matches_mat_mul() {
+        let a = DMat::from_vec(
+            2,
+            2,
+            vec![
+                Complex64::new(1.0, 1.0),
+                Complex64::real(2.0),
+                Complex64::imag(3.0),
+                Complex64::real(4.0),
+            ],
+        );
+        let v = vec![Complex64::real(1.0), Complex64::new(0.0, -1.0)];
+        let got = a.mul_vec(&v);
+        assert!(got[0].approx_eq(Complex64::new(1.0, -1.0), 1e-14));
+        assert!(got[1].approx_eq(Complex64::new(0.0, -1.0), 1e-14));
+    }
+}

@@ -1,0 +1,48 @@
+//! # nsb-math
+//!
+//! Self-contained complex linear algebra for the *nonstandard two-qubit
+//! basis gates* workspace (a reproduction of "Let Each Quantum Bit Choose
+//! Its Basis Gates", MICRO 2022).
+//!
+//! The crate deliberately implements everything from scratch — complex
+//! scalars, fixed-size 2x2/4x4 matrices, heap matrices, a Hermitian Jacobi
+//! eigensolver, a Pade matrix exponential, small SVDs and polar projections,
+//! and Haar-random sampling — so that the rest of the workspace has no
+//! external numerical dependencies.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use nsb_math::{expm_i_h_t, DMat, Mat2, Mat4};
+//!
+//! // Single- and two-qubit gates:
+//! let bell_maker = Mat4::cnot() * Mat4::kron(&Mat2::h(), &Mat2::identity());
+//! assert!(bell_maker.is_unitary(1e-12));
+//!
+//! // Time evolution under a Hermitian generator:
+//! let h = DMat::identity(3);
+//! let u = expm_i_h_t(&h, 0.5);
+//! assert!(u.is_unitary(1e-12));
+//! ```
+
+#![warn(missing_docs)]
+
+mod complex;
+mod dmat;
+mod eig;
+mod expm;
+mod mat2;
+mod mat4;
+mod random;
+mod svd;
+
+pub use complex::Complex64;
+pub use dmat::{DMat, SingularMatrix};
+pub use eig::{eigh, HermitianEig};
+pub use expm::{expm, expm_i_h_t};
+pub use mat2::Mat2;
+pub use mat4::Mat4;
+pub use random::{
+    complex_normal, haar_su2, haar_u4, haar_unitary, random_local4, standard_normal,
+};
+pub use svd::{max_trace_unitary, polar_unitary, polar_unitary4, svd2};

@@ -1,0 +1,412 @@
+//! Fixed-size 2x2 complex matrices and standard single-qubit gates.
+
+use crate::Complex64;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense 2x2 complex matrix.
+///
+/// Used throughout the workspace for single-qubit (1Q) unitaries and for the
+/// small "environment" tensors that appear in gate synthesis.
+///
+/// # Examples
+///
+/// ```
+/// use nsb_math::Mat2;
+/// let h = Mat2::h();
+/// assert!((h * h).approx_eq(&Mat2::identity(), 1e-15));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mat2 {
+    e: [[Complex64; 2]; 2],
+}
+
+impl Default for Mat2 {
+    fn default() -> Self {
+        Mat2::zero()
+    }
+}
+
+impl Mat2 {
+    /// Builds a matrix from a row-major array of entries.
+    #[inline]
+    pub const fn from_rows(e: [[Complex64; 2]; 2]) -> Self {
+        Mat2 { e }
+    }
+
+    /// The zero matrix.
+    #[inline]
+    pub const fn zero() -> Self {
+        Mat2 {
+            e: [[Complex64::ZERO; 2]; 2],
+        }
+    }
+
+    /// The identity matrix.
+    #[inline]
+    pub const fn identity() -> Self {
+        Mat2 {
+            e: [
+                [Complex64::ONE, Complex64::ZERO],
+                [Complex64::ZERO, Complex64::ONE],
+            ],
+        }
+    }
+
+    /// Pauli X.
+    pub fn x() -> Self {
+        Mat2::from_rows([
+            [Complex64::ZERO, Complex64::ONE],
+            [Complex64::ONE, Complex64::ZERO],
+        ])
+    }
+
+    /// Pauli Y.
+    pub fn y() -> Self {
+        Mat2::from_rows([
+            [Complex64::ZERO, -Complex64::I],
+            [Complex64::I, Complex64::ZERO],
+        ])
+    }
+
+    /// Pauli Z.
+    pub fn z() -> Self {
+        Mat2::from_rows([
+            [Complex64::ONE, Complex64::ZERO],
+            [Complex64::ZERO, -Complex64::ONE],
+        ])
+    }
+
+    /// Hadamard gate.
+    pub fn h() -> Self {
+        let s = Complex64::real(std::f64::consts::FRAC_1_SQRT_2);
+        Mat2::from_rows([[s, s], [s, -s]])
+    }
+
+    /// Phase gate S = diag(1, i).
+    pub fn s() -> Self {
+        Mat2::from_rows([
+            [Complex64::ONE, Complex64::ZERO],
+            [Complex64::ZERO, Complex64::I],
+        ])
+    }
+
+    /// T gate = diag(1, e^{i pi/4}).
+    pub fn t() -> Self {
+        Mat2::from_rows([
+            [Complex64::ONE, Complex64::ZERO],
+            [Complex64::ZERO, Complex64::cis(std::f64::consts::FRAC_PI_4)],
+        ])
+    }
+
+    /// Sqrt-X gate.
+    pub fn sx() -> Self {
+        let p = Complex64::new(0.5, 0.5);
+        let m = Complex64::new(0.5, -0.5);
+        Mat2::from_rows([[p, m], [m, p]])
+    }
+
+    /// Rotation about X: `exp(-i theta X / 2)`.
+    pub fn rx(theta: f64) -> Self {
+        let c = Complex64::real((theta / 2.0).cos());
+        let s = Complex64::imag(-(theta / 2.0).sin());
+        Mat2::from_rows([[c, s], [s, c]])
+    }
+
+    /// Rotation about Y: `exp(-i theta Y / 2)`.
+    pub fn ry(theta: f64) -> Self {
+        let c = Complex64::real((theta / 2.0).cos());
+        let s = Complex64::real((theta / 2.0).sin());
+        Mat2::from_rows([[c, -s], [s, c]])
+    }
+
+    /// Rotation about Z: `exp(-i theta Z / 2)`.
+    pub fn rz(theta: f64) -> Self {
+        Mat2::from_rows([
+            [Complex64::cis(-theta / 2.0), Complex64::ZERO],
+            [Complex64::ZERO, Complex64::cis(theta / 2.0)],
+        ])
+    }
+
+    /// Phase gate `diag(1, e^{i lambda})`.
+    pub fn phase(lambda: f64) -> Self {
+        Mat2::from_rows([
+            [Complex64::ONE, Complex64::ZERO],
+            [Complex64::ZERO, Complex64::cis(lambda)],
+        ])
+    }
+
+    /// The generic single-qubit gate
+    /// `U3(theta, phi, lambda)` in the OpenQASM convention.
+    pub fn u3(theta: f64, phi: f64, lambda: f64) -> Self {
+        let c = (theta / 2.0).cos();
+        let s = (theta / 2.0).sin();
+        Mat2::from_rows([
+            [Complex64::real(c), -Complex64::cis(lambda) * s],
+            [
+                Complex64::cis(phi) * s,
+                Complex64::cis(phi + lambda) * c,
+            ],
+        ])
+    }
+
+    /// Entry accessor used in hot loops.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> Complex64 {
+        self.e[r][c]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Mat2 {
+        Mat2::from_rows([[self.e[0][0], self.e[1][0]], [self.e[0][1], self.e[1][1]]])
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Mat2 {
+        Mat2::from_rows([
+            [self.e[0][0].conj(), self.e[1][0].conj()],
+            [self.e[0][1].conj(), self.e[1][1].conj()],
+        ])
+    }
+
+    /// Entry-wise complex conjugate.
+    pub fn conj(&self) -> Mat2 {
+        Mat2::from_rows([
+            [self.e[0][0].conj(), self.e[0][1].conj()],
+            [self.e[1][0].conj(), self.e[1][1].conj()],
+        ])
+    }
+
+    /// Matrix trace.
+    pub fn trace(&self) -> Complex64 {
+        self.e[0][0] + self.e[1][1]
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> Complex64 {
+        self.e[0][0] * self.e[1][1] - self.e[0][1] * self.e[1][0]
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, k: Complex64) -> Mat2 {
+        let mut out = *self;
+        for r in 0..2 {
+            for c in 0..2 {
+                out.e[r][c] = out.e[r][c] * k;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.e
+            .iter()
+            .flatten()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Returns true when `self` is unitary within `tol` (Frobenius norm of
+    /// `U U^dagger - I`).
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        (*self * self.adjoint() - Mat2::identity()).norm() <= tol
+    }
+
+    /// Entry-wise comparison within `tol`.
+    pub fn approx_eq(&self, other: &Mat2, tol: f64) -> bool {
+        (*self - *other).norm() <= tol
+    }
+
+    /// Rescales a near-unitary matrix into SU(2) (unit determinant).
+    ///
+    /// Returns the SU(2) matrix together with the removed global phase
+    /// `alpha` such that `self = e^{i alpha} * su2`.
+    pub fn to_su2(&self) -> (Mat2, f64) {
+        let d = self.det();
+        let alpha = d.arg() / 2.0;
+        (self.scale(Complex64::cis(-alpha)), alpha)
+    }
+
+    /// ZYZ Euler decomposition of a unitary.
+    ///
+    /// Returns `(theta, phi, lambda, global_phase)` such that
+    /// `self = e^{i global_phase} Rz(phi) Ry(theta) Rz(lambda)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `self` is far from unitary.
+    pub fn zyz_angles(&self) -> (f64, f64, f64, f64) {
+        debug_assert!(self.is_unitary(1e-6), "zyz_angles requires a unitary");
+        let (u, alpha) = self.to_su2();
+        // SU(2): [[a, -b*], [b, a*]] with |a|^2+|b|^2 = 1.
+        let a = u.at(0, 0);
+        let b = u.at(1, 0);
+        let theta = 2.0 * b.abs().atan2(a.abs());
+        // a = cos(theta/2) e^{-i(phi+lambda)/2}; b = sin(theta/2) e^{i(phi-lambda)/2}
+        let (sum, diff) = if a.abs() > 1e-12 && b.abs() > 1e-12 {
+            (-2.0 * a.arg(), 2.0 * b.arg())
+        } else if a.abs() > 1e-12 {
+            (-2.0 * a.arg(), 0.0)
+        } else {
+            (0.0, 2.0 * b.arg())
+        };
+        let phi = (sum + diff) / 2.0;
+        let lambda = (sum - diff) / 2.0;
+        (theta, phi, lambda, alpha)
+    }
+
+    /// Reconstructs a unitary from ZYZ Euler angles; inverse of
+    /// [`Mat2::zyz_angles`].
+    pub fn from_zyz(theta: f64, phi: f64, lambda: f64, global_phase: f64) -> Mat2 {
+        (Mat2::rz(phi) * Mat2::ry(theta) * Mat2::rz(lambda))
+            .scale(Complex64::cis(global_phase))
+    }
+}
+
+impl Index<(usize, usize)> for Mat2 {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex64 {
+        &self.e[r][c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat2 {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex64 {
+        &mut self.e[r][c]
+    }
+}
+
+impl Add for Mat2 {
+    type Output = Mat2;
+    fn add(self, rhs: Mat2) -> Mat2 {
+        let mut out = Mat2::zero();
+        for r in 0..2 {
+            for c in 0..2 {
+                out.e[r][c] = self.e[r][c] + rhs.e[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Sub for Mat2 {
+    type Output = Mat2;
+    fn sub(self, rhs: Mat2) -> Mat2 {
+        let mut out = Mat2::zero();
+        for r in 0..2 {
+            for c in 0..2 {
+                out.e[r][c] = self.e[r][c] - rhs.e[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Neg for Mat2 {
+    type Output = Mat2;
+    fn neg(self) -> Mat2 {
+        self.scale(-Complex64::ONE)
+    }
+}
+
+impl Mul for Mat2 {
+    type Output = Mat2;
+    fn mul(self, rhs: Mat2) -> Mat2 {
+        let mut out = Mat2::zero();
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut acc = Complex64::ZERO;
+                for k in 0..2 {
+                    acc += self.e[r][k] * rhs.e[k][c];
+                }
+                out.e[r][c] = acc;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Mat2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..2 {
+            writeln!(f, "[{} {}]", self.e[r][0], self.e[r][1])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn pauli_algebra() {
+        let (x, y, z) = (Mat2::x(), Mat2::y(), Mat2::z());
+        assert!((x * x).approx_eq(&Mat2::identity(), 1e-15));
+        assert!((y * y).approx_eq(&Mat2::identity(), 1e-15));
+        assert!((z * z).approx_eq(&Mat2::identity(), 1e-15));
+        // XY = iZ
+        assert!((x * y).approx_eq(&z.scale(Complex64::I), 1e-15));
+    }
+
+    #[test]
+    fn standard_gates_unitary() {
+        for g in [
+            Mat2::x(),
+            Mat2::y(),
+            Mat2::z(),
+            Mat2::h(),
+            Mat2::s(),
+            Mat2::t(),
+            Mat2::sx(),
+            Mat2::rx(0.3),
+            Mat2::ry(-1.2),
+            Mat2::rz(2.7),
+            Mat2::u3(0.4, 1.1, -0.6),
+        ] {
+            assert!(g.is_unitary(1e-12), "{g}");
+        }
+    }
+
+    #[test]
+    fn rotations_compose() {
+        let a = Mat2::rz(0.4) * Mat2::rz(0.6);
+        assert!(a.approx_eq(&Mat2::rz(1.0), 1e-12));
+    }
+
+    #[test]
+    fn u3_special_cases() {
+        // U3(pi/2, 0, pi) is the Hadamard up to nothing (exact).
+        assert!(Mat2::u3(PI / 2.0, 0.0, PI).approx_eq(&Mat2::h(), 1e-12));
+    }
+
+    #[test]
+    fn zyz_round_trip() {
+        let gates = [
+            Mat2::h(),
+            Mat2::x(),
+            Mat2::t(),
+            Mat2::u3(0.3, -0.9, 2.2),
+            Mat2::rx(1.1) * Mat2::rz(0.2) * Mat2::ry(-2.0),
+        ];
+        for g in gates {
+            let (t, p, l, a) = g.zyz_angles();
+            let back = Mat2::from_zyz(t, p, l, a);
+            assert!(back.approx_eq(&g, 1e-10), "{g} vs {back}");
+        }
+    }
+
+    #[test]
+    fn det_and_trace() {
+        let u = Mat2::u3(0.7, 0.1, -0.4);
+        assert!((u.det().abs() - 1.0).abs() < 1e-12);
+        let (su, alpha) = u.to_su2();
+        assert!((su.det() - Complex64::ONE).abs() < 1e-12);
+        assert!(su.scale(Complex64::cis(alpha)).approx_eq(&u, 1e-12));
+    }
+}

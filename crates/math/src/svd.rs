@@ -1,0 +1,195 @@
+//! Small singular value decompositions and polar projections.
+//!
+//! Gate synthesis only ever needs the closed-form 2x2 SVD (for the local
+//! "environment" update) and a polar projection onto the unitary group for
+//! 4x4 and dynamic matrices (for extracting gates from noisy tomography or
+//! simulation data).
+
+use crate::{eigh, Complex64, DMat, Mat2, Mat4};
+
+/// Closed-form singular value decomposition of a 2x2 complex matrix:
+/// `a = u * diag(s) * v^dagger` with `s[0] >= s[1] >= 0` and unitary `u`, `v`.
+///
+/// # Examples
+///
+/// ```
+/// use nsb_math::{svd2, Mat2};
+/// let a = Mat2::h();
+/// let (u, s, v) = svd2(&a);
+/// assert!((s[0] - 1.0).abs() < 1e-12 && (s[1] - 1.0).abs() < 1e-12);
+/// assert!(u.is_unitary(1e-12) && v.is_unitary(1e-12));
+/// ```
+pub fn svd2(a: &Mat2) -> (Mat2, [f64; 2], Mat2) {
+    // Eigendecompose the 2x2 Hermitian PSD matrix h = a^dag a.
+    let h = a.adjoint() * *a;
+    let h11 = h.at(0, 0).re;
+    let h22 = h.at(1, 1).re;
+    let h12 = h.at(0, 1);
+    let tr = h11 + h22;
+    let gap = ((h11 - h22) * (h11 - h22) + 4.0 * h12.norm_sqr()).sqrt();
+    let l1 = ((tr + gap) / 2.0).max(0.0);
+    let l2 = ((tr - gap) / 2.0).max(0.0);
+    // Eigenvector for l1.
+    let v1 = if h12.abs() > 1e-300 {
+        normalize2([h12, Complex64::real(l1 - h11)])
+    } else if h11 >= h22 {
+        [Complex64::ONE, Complex64::ZERO]
+    } else {
+        [Complex64::ZERO, Complex64::ONE]
+    };
+    // v2 orthogonal to v1.
+    let v2 = [-v1[1].conj(), v1[0].conj()];
+    let v = Mat2::from_rows([[v1[0], v2[0]], [v1[1], v2[1]]]);
+    let s1 = l1.sqrt();
+    let s2 = l2.sqrt();
+    // u columns: u_i = a v_i / s_i, completed orthogonally when s_i ~ 0.
+    let av1 = mul_vec2(a, v1);
+    let av2 = mul_vec2(a, v2);
+    let u1 = if s1 > 1e-150 {
+        [av1[0] / s1, av1[1] / s1]
+    } else {
+        [Complex64::ONE, Complex64::ZERO]
+    };
+    let u2 = if s2 > s1 * 1e-13 && s2 > 1e-150 {
+        [av2[0] / s2, av2[1] / s2]
+    } else {
+        // Orthogonal completion of u1.
+        [-u1[1].conj(), u1[0].conj()]
+    };
+    let u = Mat2::from_rows([[u1[0], u2[0]], [u1[1], u2[1]]]);
+    (u, [s1, s2], v)
+}
+
+fn normalize2(v: [Complex64; 2]) -> [Complex64; 2] {
+    let n = (v[0].norm_sqr() + v[1].norm_sqr()).sqrt();
+    [v[0] / n, v[1] / n]
+}
+
+fn mul_vec2(a: &Mat2, v: [Complex64; 2]) -> [Complex64; 2] {
+    [
+        a.at(0, 0) * v[0] + a.at(0, 1) * v[1],
+        a.at(1, 0) * v[0] + a.at(1, 1) * v[1],
+    ]
+}
+
+/// Returns the unitary `w` maximizing `Re tr(w e)`, namely `v u^dagger` from
+/// the SVD `e = u s v^dagger`. The achieved maximum is `s[0] + s[1]`.
+///
+/// This is the core update of the alternating gate-synthesis optimizer.
+pub fn max_trace_unitary(e: &Mat2) -> Mat2 {
+    let (u, _s, v) = svd2(e);
+    v * u.adjoint()
+}
+
+/// Projects a full-rank matrix onto the nearest unitary (polar factor),
+/// using `u = a (a^dagger a)^{-1/2}` via a Hermitian eigendecomposition.
+///
+/// # Panics
+///
+/// Panics when `a` is not square or is rank-deficient to working precision.
+pub fn polar_unitary(a: &DMat) -> DMat {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "polar projection requires a square matrix");
+    let h = &a.adjoint() * a;
+    let e = eigh(&h);
+    let inv_sqrt = e.map(|lam| {
+        assert!(
+            lam > 1e-20,
+            "polar projection of a rank-deficient matrix (eigenvalue {lam})"
+        );
+        Complex64::real(1.0 / lam.sqrt())
+    });
+    a * &inv_sqrt
+}
+
+/// Polar projection specialized to 4x4 matrices (two-qubit gates).
+pub fn polar_unitary4(a: &Mat4) -> Mat4 {
+    polar_unitary(&DMat::from_mat4(a)).to_mat4()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_svd(a: &Mat2) {
+        let (u, s, v) = svd2(a);
+        assert!(u.is_unitary(1e-10), "u not unitary for {a}");
+        assert!(v.is_unitary(1e-10), "v not unitary for {a}");
+        assert!(s[0] >= s[1] && s[1] >= -1e-12);
+        let sig = Mat2::from_rows([
+            [Complex64::real(s[0]), Complex64::ZERO],
+            [Complex64::ZERO, Complex64::real(s[1])],
+        ]);
+        let back = u * sig * v.adjoint();
+        assert!(back.approx_eq(a, 1e-10), "reconstruction failed for {a}");
+    }
+
+    #[test]
+    fn svd_of_assorted_matrices() {
+        let cases = [
+            Mat2::identity(),
+            Mat2::h(),
+            Mat2::from_rows([
+                [Complex64::new(1.0, 2.0), Complex64::new(-0.5, 0.3)],
+                [Complex64::new(0.0, -1.0), Complex64::new(2.0, 0.1)],
+            ]),
+            Mat2::from_rows([
+                [Complex64::real(3.0), Complex64::ZERO],
+                [Complex64::ZERO, Complex64::ZERO],
+            ]),
+            // Rank-1 matrix.
+            Mat2::from_rows([
+                [Complex64::new(1.0, 1.0), Complex64::new(2.0, 2.0)],
+                [Complex64::new(0.5, 0.5), Complex64::new(1.0, 1.0)],
+            ]),
+            Mat2::zero(),
+        ];
+        for a in &cases {
+            check_svd(a);
+        }
+    }
+
+    #[test]
+    fn max_trace_unitary_beats_random_rotations() {
+        let e = Mat2::from_rows([
+            [Complex64::new(0.3, -0.4), Complex64::new(1.2, 0.0)],
+            [Complex64::new(-0.7, 0.2), Complex64::new(0.1, 0.9)],
+        ]);
+        let w = max_trace_unitary(&e);
+        assert!(w.is_unitary(1e-10));
+        let best = (w * e).trace().re;
+        for k in 0..32 {
+            let theta = k as f64 * 0.2;
+            let cand = Mat2::u3(theta, 0.3 * k as f64, -0.1 * k as f64);
+            let val = (cand * e).trace().re;
+            assert!(val <= best + 1e-9);
+        }
+        // Optimum equals the nuclear norm.
+        let (_, s, _) = svd2(&e);
+        assert!((best - (s[0] + s[1])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polar_of_unitary_is_identity_map() {
+        let u = DMat::from_mat4(&Mat4::cnot());
+        assert!(polar_unitary(&u).approx_eq(&u, 1e-10));
+    }
+
+    #[test]
+    fn polar_projects_scaled_unitary() {
+        let u = Mat4::sqrt_iswap();
+        let scaled = u.scale(Complex64::real(0.9));
+        let p = polar_unitary4(&scaled);
+        assert!(p.approx_eq(&u, 1e-9));
+    }
+
+    #[test]
+    fn polar_of_perturbed_unitary_is_unitary() {
+        let mut a = DMat::from_mat4(&Mat4::iswap());
+        a[(0, 1)] += Complex64::new(0.01, -0.02);
+        a[(2, 3)] += Complex64::new(-0.015, 0.01);
+        let p = polar_unitary(&a);
+        assert!(p.is_unitary(1e-10));
+        assert!((&p - &a).norm() < 0.1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Explore the Weyl chamber: coordinates and invariants of named gates,
+//! entangling power, perfect-entangler membership, synthesis regions and
+//! mirror partners — the theory toolkit of Section V.
+//!
+//! Run with: `cargo run --release --example weyl_explorer`
+
+use nsb_core::prelude::*;
+use nsb_core::weyl::{
+    entangling_power, is_perfect_entangler, local_invariants, min_layers_for_swap,
+};
+
+fn main() {
+    let gates: Vec<(&str, Mat4)> = vec![
+        ("Identity", Mat4::identity()),
+        ("CNOT", Mat4::cnot()),
+        ("CZ", Mat4::cz()),
+        ("iSWAP", Mat4::iswap()),
+        ("sqrt(iSWAP)", Mat4::sqrt_iswap()),
+        ("SWAP", Mat4::swap()),
+        ("sqrt(SWAP)", Mat4::sqrt_swap()),
+        ("B gate", Mat4::b_gate()),
+        ("CPhase(pi/2)", Mat4::cphase(std::f64::consts::FRAC_PI_2)),
+    ];
+    println!(
+        "{:<14} {:<28} {:>7} {:>4} {:>8} {:>8}",
+        "gate", "Weyl coordinates", "ep", "PE", "SWAP-in", "CNOT-in-2"
+    );
+    for (name, u) in &gates {
+        let c = kak_vector(u);
+        let ep = entangling_power(c);
+        let pe = is_perfect_entangler(c, 1e-9);
+        let swap_layers = min_layers_for_swap(c)
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| ">3".into());
+        println!(
+            "{:<14} {:<28} {:>7.4} {:>4} {:>8} {:>8}",
+            name,
+            format!("{c}"),
+            ep,
+            if pe { "yes" } else { "no" },
+            swap_layers,
+            if can_cnot_in_2(c) { "yes" } else { "no" }
+        );
+    }
+
+    println!("\nMakhlin local invariants (g1, g2, g3):");
+    for (name, u) in &gates[..6] {
+        let (g1, g2, g3) = local_invariants(u);
+        println!("  {:<14} ({:+.4}, {:+.4}, {:+.4})", name, g1, g2, g3);
+    }
+
+    println!("\nAppendix-B mirror partners (2-layer SWAP synthesis pairs):");
+    for (name, u) in &gates[1..6] {
+        let c = kak_vector(u);
+        println!(
+            "  {:<14} <-> {}  (self-mirror: {})",
+            name,
+            c.mirror(),
+            c.is_self_mirror(1e-9)
+        );
+    }
+
+    // Sweep an XY trajectory and report where the selection criteria fire.
+    println!("\nXY-trajectory sweep (t/2, t/2, 0):");
+    let coords: Vec<WeylCoord> = (0..=100)
+        .map(|k| WeylCoord::new(k as f64 / 200.0, k as f64 / 200.0, 0.0))
+        .collect();
+    for (label, crit) in [
+        ("SWAP-in-3", SelectionCriterion::SwapIn3),
+        ("SWAP-in-3 + CNOT-in-2", SelectionCriterion::SwapIn3CnotIn2),
+    ] {
+        let idx = first_crossing(&coords, crit, 0.0).unwrap();
+        println!("  {label} first satisfied at {}", coords[idx]);
+    }
+}

@@ -1,0 +1,117 @@
+//! End-to-end integration tests: build a small device, compile the
+//! benchmark suite with all three strategies, verify compiled circuits by
+//! statevector simulation, and check the paper's qualitative orderings.
+
+use nonstandard_basis::prelude::*;
+use std::sync::OnceLock;
+
+fn device() -> &'static Device {
+    static DEVICE: OnceLock<Device> = OnceLock::new();
+    DEVICE.get_or_init(|| Device::build(3, 2, DeviceConfig::fast_test()).expect("device"))
+}
+
+#[test]
+fn small_suite_compiles_under_all_strategies() {
+    let device = device();
+    for bench in small_suite(11) {
+        let row = evaluate_benchmark(device, &bench).expect("compile");
+        for r in &row.results {
+            assert!(r.fidelity > 0.0 && r.fidelity <= 1.0, "{}", bench.name);
+            assert!(r.duration > 0.0);
+            assert!(r.entanglers >= row.logical_2q, "{}", bench.name);
+        }
+    }
+}
+
+#[test]
+fn criterion_strategies_beat_baseline_on_fidelity() {
+    let device = device();
+    let mut wins = 0;
+    let mut total = 0;
+    for bench in small_suite(11) {
+        let row = evaluate_benchmark(device, &bench).expect("compile");
+        total += 1;
+        if row.results[1].fidelity > row.results[0].fidelity
+            && row.results[2].fidelity > row.results[0].fidelity
+        {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins >= total - 1,
+        "criterion gates should beat the baseline on nearly all benchmarks ({wins}/{total})"
+    );
+}
+
+#[test]
+fn compiled_benchmarks_are_functionally_correct() {
+    // Statevector verification of compiled programs against the logical
+    // circuits, covering permutations from routing and the per-edge
+    // nonstandard decompositions.
+    let device = device();
+    for bench in small_suite(11) {
+        let compiled = compile_on(device, BasisStrategy::Criterion2, &bench.circuit)
+            .expect("compile");
+        let overlap = verify_compiled(&bench.circuit, &compiled);
+        assert!(
+            overlap > 0.999,
+            "{}: compiled/logical overlap {overlap}",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn bv_compiled_still_recovers_secret() {
+    // Compile BV, then actually run the compiled program and read out the
+    // secret from the physical qubits.
+    let device = device();
+    let secret = [true, false, true, true];
+    let logical = generators::bernstein_vazirani(&secret);
+    let compiled = compile_on(device, BasisStrategy::Criterion1, &logical).expect("compile");
+    let mut state = StateVector::zero(compiled.n_qubits);
+    state.apply_circuit(&compiled.to_circuit());
+    let out = state.most_probable();
+    let map = &compiled.final_layout.logical_to_physical;
+    for (l, &bit) in secret.iter().enumerate() {
+        let phys = map[l];
+        let measured = out >> (compiled.n_qubits - 1 - phys) & 1 == 1;
+        assert_eq!(measured, bit, "data qubit {l}");
+    }
+}
+
+#[test]
+fn per_edge_basis_gates_actually_differ() {
+    // The paper's core idea: every pair gets its own gate. Frequencies
+    // differ per edge, so selected durations and coordinates differ.
+    let device = device();
+    let c1_durations: Vec<f64> = device
+        .edges()
+        .iter()
+        .map(|e| e.criterion1.duration)
+        .collect();
+    let distinct = {
+        let mut d = c1_durations.clone();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        d.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        d.len()
+    };
+    assert!(
+        distinct >= 2,
+        "heterogeneous device should have heterogeneous basis gates: {c1_durations:?}"
+    );
+}
+
+#[test]
+fn table1_orderings_hold_on_small_device() {
+    let device = device();
+    let base = device.table1_row(BasisStrategy::Baseline);
+    let c1 = device.table1_row(BasisStrategy::Criterion1);
+    let c2 = device.table1_row(BasisStrategy::Criterion2);
+    // Basis gates: criteria are faster and higher fidelity.
+    assert!(c1.basis_duration < base.basis_duration);
+    assert!(c1.basis_fidelity > base.basis_fidelity);
+    // Synthesized gates keep the ordering.
+    assert!(c1.swap_duration < base.swap_duration);
+    assert!(c2.cnot_duration <= c1.cnot_duration + 1e-9);
+}

@@ -1,0 +1,103 @@
+//! Fast checks of the paper's headline quantitative claims that do not
+//! need the full 10x10 device (those run in the bench binaries).
+
+use nonstandard_basis::prelude::*;
+use nsb_core::device::{coherence_limit_2q, synthesized_duration};
+use nsb_core::weyl::{
+    can_cnot_in_2, can_swap_in_3, chamber_volume, cnot2_complement, is_perfect_entangler,
+    swap3_complement, volume_fraction,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn section5_volume_numbers() {
+    // Exact tetrahedron volumes reproduce 68.5% and 75%.
+    let chamber = chamber_volume();
+    let s3: f64 = swap3_complement().iter().map(|t| t.tet.volume()).sum();
+    assert!((1.0 - s3 / chamber - 0.685).abs() < 0.001, "S_SWAP,3");
+    let c2: f64 = cnot2_complement().iter().map(|t| t.tet.volume()).sum();
+    assert!((1.0 - c2 / chamber - 0.75).abs() < 1e-9, "S_CNOT,2");
+    // Monte-Carlo membership agrees.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mc = volume_fraction(can_swap_in_3, 30_000, &mut rng);
+    assert!((mc - 0.685).abs() < 0.015, "MC S_SWAP,3 = {mc}");
+    let mc = volume_fraction(can_cnot_in_2, 30_000, &mut rng);
+    assert!((mc - 0.75).abs() < 0.015, "MC S_CNOT,2 = {mc}");
+    let pe = volume_fraction(|p| is_perfect_entangler(p, 0.0), 30_000, &mut rng);
+    assert!((pe - 0.5).abs() < 0.015, "MC PE = {pe}");
+}
+
+#[test]
+fn table1_duration_formula_matches_paper_arithmetic() {
+    // Paper Table I is consistent with duration = L*t2q + (L+1)*t1q.
+    // Baseline: basis 83.04 ns, SWAP 3 layers, CNOT 2 layers.
+    assert!((synthesized_duration(3, 83.04, 20.0) - 329.1).abs() < 0.1);
+    assert!((synthesized_duration(2, 83.04, 20.0) - 226.1).abs() < 0.1);
+    // Criterion 1: basis 10.15 ns; SWAP and CNOT both 3 layers.
+    assert!((synthesized_duration(3, 10.15, 20.0) - 110.5).abs() < 0.1);
+    // Criterion 2: basis 10.76; SWAP 3 layers, CNOT 2 layers.
+    assert!((synthesized_duration(3, 10.76, 20.0) - 112.3).abs() < 0.1);
+    assert!((synthesized_duration(2, 10.76, 20.0) - 81.51).abs() < 0.1);
+}
+
+#[test]
+fn coherence_limit_reproduces_table1_fidelities() {
+    // The Ignis-style 2Q coherence limit evaluated at the paper's
+    // durations reproduces the paper's fidelities to ~1e-4.
+    // Tolerance note: the paper averages per-edge fidelities over 180
+    // edges with spread-out durations, so (by Jensen's inequality) its
+    // table value exceeds the closed form evaluated at the mean duration;
+    // the gap grows with duration and stays under 4e-4 here.
+    let t = 80_000.0;
+    let check = |dur: f64, expected: f64| {
+        let fid = 1.0 - coherence_limit_2q([t; 2], [t; 2], dur);
+        assert!(
+            (fid - expected).abs() < 5e-4,
+            "duration {dur}: got {fid:.5}, paper {expected:.5}"
+        );
+    };
+    check(83.04, 0.99884);
+    check(10.15, 0.99986);
+    check(329.1, 0.99541);
+    check(226.1, 0.99684);
+    check(110.5, 0.99845);
+    check(81.51, 0.99886);
+}
+
+#[test]
+fn strong_drive_is_8x_faster_shape() {
+    // Speed of the trajectory scales linearly with drive amplitude, so
+    // xi = 0.04 vs 0.005 gives the paper's ~8x basis-gate speedup. Checked
+    // here at a cheap amplitude pair with the ratio rescaled.
+    let cell = PreparedCell::prepare(&UnitCellParams::default());
+    let cfg = TrajectoryConfig {
+        t_max: 40.0,
+        dt: 0.02,
+        drive_scan_points: 1,
+        ..TrajectoryConfig::default()
+    };
+    let slow = cell.trajectory(0.02, &cfg);
+    let fast = cell.trajectory(0.04, &cfg);
+    let v_slow = nsb_core::sim::trajectory_speed(&slow, slow.points.len());
+    let v_fast = nsb_core::sim::trajectory_speed(&fast, fast.points.len());
+    let ratio = v_fast / v_slow * (0.02 / 0.005) / (0.04 / 0.005);
+    assert!(
+        (0.75..=1.3).contains(&ratio),
+        "speed/amplitude linearity violated: {ratio}"
+    );
+}
+
+#[test]
+fn nonstandard_gate_supports_both_criteria_synthesis() {
+    // A gate with the deviation profile our strong-drive trajectories
+    // produce synthesizes SWAP in 3 and CNOT in 2 layers exactly.
+    let gate = nsb_core::weyl::canonical_gate(WeylCoord::new(0.27, 0.25, 0.03));
+    let dec = Decomposer::new(gate);
+    let swap = dec.decompose(&Mat4::swap()).unwrap();
+    assert_eq!(swap.layers, 3);
+    assert!(swap.error < 1e-7);
+    let cnot = dec.decompose(&Mat4::cnot()).unwrap();
+    assert_eq!(cnot.layers, 2);
+    assert!(cnot.error < 1e-7);
+}
