@@ -1,0 +1,71 @@
+//! Batch compilation throughput: cached-parallel service versus serial
+//! one-at-a-time transpilation over the Table II benchmarks that fit a
+//! small device.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsb_core::prelude::*;
+use std::sync::OnceLock;
+
+fn device() -> &'static Device {
+    static DEVICE: OnceLock<Device> = OnceLock::new();
+    DEVICE.get_or_init(|| Device::build(4, 3, DeviceConfig::fast_test()).expect("bench device"))
+}
+
+/// The batch both sides compile: small Table II entries, two strategies.
+fn batch() -> Vec<(BasisStrategy, Circuit)> {
+    let capacity = device().topology().n_qubits();
+    table2_suite(7)
+        .into_iter()
+        .filter(|b| b.circuit.n_qubits() <= capacity)
+        .flat_map(|b| {
+            [BasisStrategy::Baseline, BasisStrategy::Criterion2]
+                .into_iter()
+                .map(move |s| (s, b.circuit.clone()))
+        })
+        .collect()
+}
+
+fn bench_batch_compilation(c: &mut Criterion) {
+    let jobs = batch();
+    let mut group = c.benchmark_group("service/table2_batch");
+    group.sample_size(10);
+
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            for (strategy, circuit) in &jobs {
+                Transpiler::new(device(), *strategy)
+                    .compile(circuit)
+                    .expect("serial compile");
+            }
+        })
+    });
+
+    group.bench_function("cached_parallel", |b| {
+        b.iter(|| {
+            let service = CompileService::new(
+                device().clone(),
+                ServiceConfig {
+                    queue_capacity: jobs.len().max(1),
+                    ..ServiceConfig::default()
+                },
+            );
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|(strategy, circuit)| {
+                    service
+                        .submit(JobSpec::new(circuit.clone(), *strategy))
+                        .expect("submit")
+                })
+                .collect();
+            for h in handles {
+                h.wait().expect("service compile");
+            }
+            service.shutdown();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_compilation);
+criterion_main!(benches);

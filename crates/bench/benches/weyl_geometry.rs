@@ -27,7 +27,9 @@ fn bench_canonicalize(c: &mut Criterion) {
 
 fn bench_region_membership(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
-    let points: Vec<WeylCoord> = (0..64).map(|_| nsb_weyl::sample_chamber(&mut rng)).collect();
+    let points: Vec<WeylCoord> = (0..64)
+        .map(|_| nsb_weyl::sample_chamber(&mut rng))
+        .collect();
     let mut k = 0usize;
     c.bench_function("weyl/swap3_and_cnot2_membership", |b| {
         b.iter(|| {

@@ -9,8 +9,8 @@
 use nsb_core::prelude::*;
 use nsb_synth::{numerical_can_cnot_in_2, numerical_can_swap_in_3, OracleConfig};
 use nsb_weyl::{
-    can_swap_in_2_pair, cnot2_complement, is_perfect_entangler, sample_chamber,
-    swap3_complement, volume_fraction,
+    can_swap_in_2_pair, cnot2_complement, is_perfect_entangler, sample_chamber, swap3_complement,
+    volume_fraction,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,11 +45,7 @@ fn main() {
     println!("SWAP in 3 layers:   {:.2}%   [68.5%]", 100.0 * s3);
     let c2 = volume_fraction(can_cnot_in_2, samples, &mut rng);
     println!("CNOT in 2 layers:   {:.2}%   [75%]", 100.0 * c2);
-    let both = volume_fraction(
-        |p| can_swap_in_3(p) && can_cnot_in_2(p),
-        samples,
-        &mut rng,
-    );
+    let both = volume_fraction(|p| can_swap_in_3(p) && can_cnot_in_2(p), samples, &mut rng);
     println!("both (Fig. 4f):     {:.2}%", 100.0 * both);
 
     println!("\n== Appendix B mirror structure (Figure 4 a/b) ==");
@@ -61,10 +57,7 @@ fn main() {
         let t = k as f64 / 4.0;
         // L0 runs from the B gate to sqrt(SWAP).
         let p = WeylCoord::new(0.5 - 0.25 * t, 0.25, 0.25 * t);
-        println!(
-            "L0 point {p}: self-mirror = {}",
-            p.is_self_mirror(1e-9)
-        );
+        println!("L0 point {p}: self-mirror = {}", p.is_self_mirror(1e-9));
     }
     // An XY-deviating trajectory and its mirror trajectory (Fig. 4b).
     println!("\nexample trajectory vs mirror (blue/orange in Fig. 4b):");
@@ -104,7 +97,7 @@ fn near_boundary(p: WeylCoord, margin: f64) -> bool {
             let inflated = t
                 .tet
                 .barycentric(p)
-                .map_or(false, |w| w.iter().all(|&v| v >= -margin));
+                .is_some_and(|w| w.iter().all(|&v| v >= -margin));
             inside != inflated
         })
     };

@@ -17,7 +17,10 @@ fn main() {
             ..TrajectoryConfig::default()
         };
         let traj = cell.trajectory(xi, &cfg);
-        println!("xi = {xi} Phi_0 (delta = {:.2} MHz):", 1e3 * traj.drive.delta / (2.0 * std::f64::consts::PI));
+        println!(
+            "xi = {xi} Phi_0 (delta = {:.2} MHz):",
+            1e3 * traj.drive.delta / (2.0 * std::f64::consts::PI)
+        );
         println!("{:>7} {:>10} {:>10} {:>10}", "t(ns)", "tx", "ty", "tz");
         for p in traj.points.iter().step_by((t_max as usize) / 12) {
             println!(

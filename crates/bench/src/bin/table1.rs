@@ -29,8 +29,24 @@ fn main() {
     );
     let paper = [
         ("Baseline", 83.04, 0.99884, 329.1, 0.99541, 226.1, 0.99684),
-        ("Criterion 1", 10.15, 0.99986, 110.5, 0.99845, 110.5, 0.99845),
-        ("Criterion 2", 10.76, 0.99985, 112.3, 0.99843, 81.51, 0.99886),
+        (
+            "Criterion 1",
+            10.15,
+            0.99986,
+            110.5,
+            0.99845,
+            110.5,
+            0.99845,
+        ),
+        (
+            "Criterion 2",
+            10.76,
+            0.99985,
+            112.3,
+            0.99843,
+            81.51,
+            0.99886,
+        ),
     ];
     let mut rows = Vec::new();
     for (strategy, p) in BasisStrategy::ALL.iter().zip(paper) {

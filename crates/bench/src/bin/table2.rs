@@ -71,9 +71,11 @@ fn main() {
         {
             ordered_ok += 1;
         }
-        eprintln!("  [{} compiled in {:.1} s]", row.name, t.elapsed().as_secs_f64());
+        eprintln!(
+            "  [{} compiled in {:.1} s]",
+            row.name,
+            t.elapsed().as_secs_f64()
+        );
     }
-    println!(
-        "\nordering check (C2 >= C1 > Baseline): {ordered_ok}/{total} rows"
-    );
+    println!("\nordering check (C2 >= C1 > Baseline): {ordered_ok}/{total} rows");
 }

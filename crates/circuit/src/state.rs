@@ -96,12 +96,12 @@ impl StateVector {
                     self.amps[idx[2]],
                     self.amps[idx[3]],
                 ];
-                for r in 0..4 {
+                for (r, &dst) in idx.iter().enumerate() {
                     let mut acc = Complex64::ZERO;
-                    for c in 0..4 {
-                        acc += m.at(r, c) * old[c];
+                    for (c, &amp) in old.iter().enumerate() {
+                        acc += m.at(r, c) * amp;
                     }
-                    self.amps[idx[r]] = acc;
+                    self.amps[dst] = acc;
                 }
             }
         }

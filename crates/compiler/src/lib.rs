@@ -26,7 +26,9 @@ mod pipeline;
 mod sabre;
 mod schedule;
 
-pub use lower::{merge_locals, swap_conjugate, CacheKey, Lowerer, LoweredOp, LoweringMode};
-pub use pipeline::{verify_compiled, CompileError, CompiledCircuit, Transpiler};
+pub use lower::{
+    merge_locals, mode_tag, swap_conjugate, CacheKey, LoweredOp, Lowerer, LoweringMode,
+};
+pub use pipeline::{default_mode, verify_compiled, CompileError, CompiledCircuit, Transpiler};
 pub use sabre::{sabre_route, Layout, RoutedCircuit, SabreConfig};
 pub use schedule::{schedule, Schedule};

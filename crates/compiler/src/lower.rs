@@ -4,11 +4,16 @@
 use nsb_circuit::{Circuit, Gate};
 use nsb_device::{BasisStrategy, Device, SelectedBasis};
 use nsb_math::{Mat2, Mat4};
-use nsb_synth::{Synthesized2Q, SynthesisFailed};
+use nsb_synth::{SynthCache, SynthesisFailed, Synthesized2Q};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One operation of the lowered (hardware-level) program.
+///
+/// `Entangler` carries its full `Mat4` inline; lowered programs are short
+/// and iterated once, so locality beats boxing the large variant.
 #[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)]
 pub enum LoweredOp {
     /// A merged local unitary on one qubit.
     Local {
@@ -66,6 +71,7 @@ pub struct Lowerer<'d> {
     strategy: BasisStrategy,
     mode: LoweringMode,
     cache: HashMap<CacheKey, Synthesized2Q>,
+    shared: Option<Arc<dyn SynthCache>>,
 }
 
 impl<'d> Lowerer<'d> {
@@ -76,7 +82,17 @@ impl<'d> Lowerer<'d> {
             strategy,
             mode,
             cache: HashMap::new(),
+            shared: None,
         }
+    }
+
+    /// Attaches a shared synthesis cache consulted (and filled) whenever
+    /// the per-compilation cache misses. Results served from the shared
+    /// cache are bit-identical to fresh decompositions, so lowering
+    /// output does not depend on cache state.
+    pub fn with_shared_cache(mut self, cache: Arc<dyn SynthCache>) -> Self {
+        self.shared = Some(cache);
+        self
     }
 
     /// Lowers a routed physical circuit. Two-qubit operations must already
@@ -170,7 +186,14 @@ impl<'d> Lowerer<'d> {
                 let synth = match self.cache.get(&key) {
                     Some(s) => s.clone(),
                     None => {
-                        let s = basis.decomposer.decompose(&target)?;
+                        let s = match &self.shared {
+                            Some(shared) => basis.decomposer.decompose_cached(
+                                &target,
+                                mode_tag(self.mode),
+                                shared.as_ref(),
+                            )?,
+                            None => basis.decomposer.decompose(&target)?,
+                        };
                         self.cache.insert(key, s.clone());
                         s
                     }
@@ -210,6 +233,15 @@ impl<'d> Lowerer<'d> {
 
 fn local(qubit: usize, unitary: Mat2) -> LoweredOp {
     LoweredOp::Local { qubit, unitary }
+}
+
+/// Cache-namespace tag of a lowering mode, used as the `tag` of shared
+/// [`nsb_synth::SynthKey`]s so modes never share entries.
+pub fn mode_tag(mode: LoweringMode) -> u8 {
+    match mode {
+        LoweringMode::ViaCnot => 0,
+        LoweringMode::Direct => 1,
+    }
 }
 
 fn strategy_tag(s: BasisStrategy) -> u8 {
@@ -271,7 +303,10 @@ pub fn merge_locals(ops: Vec<LoweredOp>, n_qubits: usize) -> Vec<LoweredOp> {
         if let Some(u) = pending[q].take() {
             // Drop identity-up-to-phase locals.
             if (2.0 - u.trace().abs()).abs() > 1e-10 {
-                out.push(LoweredOp::Local { qubit: q, unitary: u });
+                out.push(LoweredOp::Local {
+                    qubit: q,
+                    unitary: u,
+                });
             }
         }
     };

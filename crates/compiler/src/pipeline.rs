@@ -2,13 +2,14 @@
 //! merging, scheduling, fidelity evaluation — plus statevector
 //! verification for small devices.
 
-use crate::lower::{Lowerer, LoweredOp, LoweringMode};
+use crate::lower::{LoweredOp, Lowerer, LoweringMode};
 use crate::sabre::{sabre_route, Layout, SabreConfig};
 use crate::schedule::{schedule, Schedule};
 use nsb_circuit::{Circuit, Gate, StateVector};
 use nsb_device::{BasisStrategy, Device};
-use nsb_synth::SynthesisFailed;
+use nsb_synth::{SynthCache, SynthesisFailed};
 use std::fmt;
+use std::sync::Arc;
 
 /// A compiled (hardware-level) program with its schedule and fidelity.
 #[derive(Clone, Debug)]
@@ -63,29 +64,35 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+/// The paper's default lowering mode for a strategy: the baseline
+/// decomposes targets directly (standing in for the analytic sqrt(iSWAP)
+/// formulas), the criteria route everything through the cached SWAP/CNOT
+/// decompositions.
+pub fn default_mode(strategy: BasisStrategy) -> LoweringMode {
+    match strategy {
+        BasisStrategy::Baseline => LoweringMode::Direct,
+        _ => LoweringMode::ViaCnot,
+    }
+}
+
 /// The transpiler, bound to a device and a basis-gate strategy.
 pub struct Transpiler<'d> {
     device: &'d Device,
     strategy: BasisStrategy,
     mode: LoweringMode,
     sabre: SabreConfig,
+    shared: Option<Arc<dyn SynthCache>>,
 }
 
 impl<'d> Transpiler<'d> {
-    /// Creates a transpiler with the paper's mode defaults: the baseline
-    /// decomposes targets directly (standing in for the analytic
-    /// sqrt(iSWAP) formulas), the criteria route everything through the
-    /// cached SWAP/CNOT decompositions.
+    /// Creates a transpiler with the mode defaults of [`default_mode`].
     pub fn new(device: &'d Device, strategy: BasisStrategy) -> Self {
-        let mode = match strategy {
-            BasisStrategy::Baseline => LoweringMode::Direct,
-            _ => LoweringMode::ViaCnot,
-        };
         Transpiler {
             device,
             strategy,
-            mode,
+            mode: default_mode(strategy),
             sabre: SabreConfig::default(),
+            shared: None,
         }
     }
 
@@ -101,6 +108,14 @@ impl<'d> Transpiler<'d> {
         self
     }
 
+    /// Attaches a shared synthesis cache (see
+    /// [`Lowerer::with_shared_cache`]); compilation output is unaffected,
+    /// only repeated decomposition work is skipped.
+    pub fn with_shared_cache(mut self, cache: Arc<dyn SynthCache>) -> Self {
+        self.shared = Some(cache);
+        self
+    }
+
     /// Compiles a logical circuit to the device.
     ///
     /// # Errors
@@ -109,6 +124,9 @@ impl<'d> Transpiler<'d> {
     pub fn compile(&self, circuit: &Circuit) -> Result<CompiledCircuit, CompileError> {
         let routed = sabre_route(circuit, self.device.topology(), &self.sabre);
         let mut lowerer = Lowerer::new(self.device, self.strategy, self.mode);
+        if let Some(shared) = &self.shared {
+            lowerer = lowerer.with_shared_cache(shared.clone());
+        }
         let ops = lowerer
             .lower(&routed.circuit)
             .map_err(|synthesis| CompileError { synthesis })?;
@@ -163,9 +181,9 @@ pub fn verify_compiled(logical: &Circuit, compiled: &CompiledCircuit) -> f64 {
         let mut overlap = nsb_math::Complex64::ZERO;
         for x in 0..(1usize << n_l) {
             let mut phys_index = 0usize;
-            for l in 0..n_l {
+            for (l, &host) in final_map.iter().enumerate().take(n_l) {
                 if x >> (n_l - 1 - l) & 1 == 1 {
-                    phys_index |= 1 << (n_p - 1 - final_map[l]);
+                    phys_index |= 1 << (n_p - 1 - host);
                 }
             }
             overlap += expected.amplitudes()[x].conj() * actual.amplitudes()[phys_index];
@@ -221,9 +239,7 @@ mod tests {
 
     fn test_device() -> &'static Device {
         static DEVICE: OnceLock<Device> = OnceLock::new();
-        DEVICE.get_or_init(|| {
-            Device::build(3, 2, DeviceConfig::fast_test()).expect("test device")
-        })
+        DEVICE.get_or_init(|| Device::build(3, 2, DeviceConfig::fast_test()).expect("test device"))
     }
 
     #[test]
@@ -236,10 +252,7 @@ mod tests {
                 .expect("compile");
             assert!(compiled.fidelity > 0.9, "{strategy}: {}", compiled.fidelity);
             let overlap = verify_compiled(&logical, &compiled);
-            assert!(
-                overlap > 0.999,
-                "{strategy}: min overlap {overlap} too low"
-            );
+            assert!(overlap > 0.999, "{strategy}: min overlap {overlap} too low");
         }
     }
 

@@ -181,8 +181,7 @@ fn route_once(
                     }
                 };
                 if executable {
-                    let phys: Vec<usize> =
-                        op.qubits.iter().map(|&q| layout.physical(q)).collect();
+                    let phys: Vec<usize> = op.qubits.iter().map(|&q| layout.physical(q)).collect();
                     out.push(op.gate.clone(), &phys);
                     done[i] = true;
                     for &s in &successors[i] {
@@ -356,10 +355,7 @@ mod tests {
         routed_respects_topology(&r, &topo);
         // All original two-qubit gates present plus swaps.
         let original_2q = c.two_qubit_count();
-        assert_eq!(
-            r.circuit.two_qubit_count(),
-            original_2q + r.swaps_inserted
-        );
+        assert_eq!(r.circuit.two_qubit_count(), original_2q + r.swaps_inserted);
     }
 
     #[test]

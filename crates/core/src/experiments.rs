@@ -133,11 +133,7 @@ pub fn evaluate_benchmark(
     Ok(Table2Row {
         name: bench.name.clone(),
         logical_2q: bench.circuit.two_qubit_count(),
-        results: [
-            results[0].clone(),
-            results[1].clone(),
-            results[2].clone(),
-        ],
+        results: [results[0].clone(), results[1].clone(), results[2].clone()],
     })
 }
 

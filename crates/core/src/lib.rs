@@ -18,6 +18,8 @@
 //! * [`device`] — the simulated 10x10 device, per-edge basis-gate
 //!   selection and the calibration protocol (Sections V-E, VI).
 //! * [`compiler`] — SABRE mapping and per-edge basis lowering.
+//! * [`service`] — concurrent compilation service with a shared
+//!   synthesis cache, deadlines and metrics.
 //! * [`experiments`] — Table I / Table II harness.
 //!
 //! ## Quickstart
@@ -35,6 +37,26 @@
 //! let idx = first_crossing(&coords, SelectionCriterion::SwapIn3CnotIn2, 0.15).unwrap();
 //! assert!(can_swap_in_3(coords[idx]) && can_cnot_in_2(coords[idx]));
 //! ```
+//!
+//! Compiling many circuits? Run them through the concurrent service —
+//! jobs fan out over a worker pool and share one synthesis cache:
+//!
+//! ```
+//! use nsb_core::prelude::*;
+//!
+//! let device = Device::build(3, 2, DeviceConfig::fast_test()).unwrap();
+//! let service = CompileService::new(device, ServiceConfig::default());
+//! let handles: Vec<_> = (3..=4)
+//!     .map(|n| {
+//!         let spec = JobSpec::new(generators::qft(n, true), BasisStrategy::Criterion2);
+//!         service.submit(spec).unwrap()
+//!     })
+//!     .collect();
+//! for handle in handles {
+//!     assert!(handle.wait().unwrap().fidelity > 0.9);
+//! }
+//! println!("{}", service.metrics().report());
+//! ```
 
 #![warn(missing_docs)]
 
@@ -42,6 +64,7 @@ pub use nsb_circuit as circuit;
 pub use nsb_compiler as compiler;
 pub use nsb_device as device;
 pub use nsb_math as math;
+pub use nsb_service as service;
 pub use nsb_sim as sim;
 pub use nsb_synth as synth;
 pub use nsb_weyl as weyl;
@@ -60,6 +83,7 @@ pub mod prelude {
         BasisStrategy, Device, DeviceConfig, FrequencyPlan, GridTopology, Table1Row,
     };
     pub use nsb_math::{Complex64, DMat, Mat2, Mat4};
+    pub use nsb_service::{CompileService, JobSpec, ServiceConfig, ServiceError, ServiceMetrics};
     pub use nsb_sim::{
         CartanTrajectory, DriveParams, PreparedCell, TrajectoryConfig, UnitCellParams,
     };

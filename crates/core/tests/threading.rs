@@ -1,0 +1,47 @@
+//! Compile-time thread-safety and error-trait audit.
+//!
+//! The compilation service shares `Device`, decomposers and the
+//! synthesis cache across worker threads; these assertions pin the
+//! `Send`/`Sync` guarantees so an accidental `Rc`/`RefCell`/raw-pointer
+//! regression fails to compile rather than failing at a distance.
+
+use nsb_core::compiler::{CompileError, CompiledCircuit, Lowerer, Transpiler};
+use nsb_core::device::{Device, DeviceBuildError};
+use nsb_core::service::{
+    CompileService, JobHandle, JobSpec, ServiceError, ServiceMetrics, SharedSynthCache,
+};
+use nsb_core::synth::{Decomposer, SynthesisFailed, Synthesized2Q};
+
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_send<T: Send>() {}
+fn assert_error<T: std::error::Error + std::fmt::Display>() {}
+
+#[test]
+fn shared_types_are_send_and_sync() {
+    assert_send_sync::<Device>();
+    assert_send_sync::<Transpiler<'static>>();
+    assert_send_sync::<Lowerer<'static>>();
+    assert_send_sync::<Decomposer>();
+    assert_send_sync::<Synthesized2Q>();
+    assert_send_sync::<CompiledCircuit>();
+    assert_send_sync::<SharedSynthCache>();
+    assert_send_sync::<CompileService>();
+    assert_send_sync::<ServiceMetrics>();
+    assert_send_sync::<ServiceError>();
+    assert_send_sync::<JobSpec>();
+}
+
+#[test]
+fn job_handles_move_across_threads() {
+    // A handle owns an `mpsc::Receiver`, which is Send but not Sync:
+    // one thread at a time may wait on it, and that is the contract.
+    assert_send::<JobHandle>();
+}
+
+#[test]
+fn failure_types_are_std_errors() {
+    assert_error::<SynthesisFailed>();
+    assert_error::<CompileError>();
+    assert_error::<DeviceBuildError>();
+    assert_error::<ServiceError>();
+}

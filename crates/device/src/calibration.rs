@@ -110,8 +110,7 @@ pub fn initial_tuneup<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Option<(CartanTrajectory, TuneupResult)> {
     let traj = cell.trajectory(xi, traj_config);
-    let result =
-        tuneup_from_trajectory(&traj, criterion, min_entangling_power, max_leakage, rng)?;
+    let result = tuneup_from_trajectory(&traj, criterion, min_entangling_power, max_leakage, rng)?;
     Some((traj, result))
 }
 
@@ -137,8 +136,7 @@ pub fn tuneup_from_trajectory<R: Rng + ?Sized>(
         }
         let est = qpt.estimate(&p.gate, rng);
         let coord = kak_vector(&est);
-        if criterion.accepts(coord) && nsb_weyl::entangling_power(coord) >= min_entangling_power
-        {
+        if criterion.accepts(coord) && nsb_weyl::entangling_power(coord) >= min_entangling_power {
             candidates.push(CandidateGate {
                 index: i,
                 duration: p.duration,
@@ -156,8 +154,7 @@ pub fn tuneup_from_trajectory<R: Rng + ?Sized>(
         let p = &traj.points[cand.index];
         let refined = gst.estimate(&p.gate, rng);
         let coord = kak_vector(&refined);
-        if criterion.accepts(coord) && nsb_weyl::entangling_power(coord) >= min_entangling_power
-        {
+        if criterion.accepts(coord) && nsb_weyl::entangling_power(coord) >= min_entangling_power {
             return Some(TuneupResult {
                 selected_index: cand.index,
                 refined_gate: refined,

@@ -18,8 +18,7 @@ pub fn coherence_limit_2q(t1: [f64; 2], t2: [f64; 2], gate_len: f64) -> f64 {
     for i in 0..2 {
         t1f += (1.0 / 15.0) * (-gate_len / t1[i]).exp();
         t2f += (2.0 / 15.0)
-            * ((-gate_len / t2[i]).exp()
-                + (-gate_len * (1.0 / t2[i] + 1.0 / t1[1 - i])).exp());
+            * ((-gate_len / t2[i]).exp() + (-gate_len * (1.0 / t2[i] + 1.0 / t1[1 - i])).exp());
     }
     t1f += (1.0 / 15.0) * (-gate_len * (1.0 / t1[0] + 1.0 / t1[1])).exp();
     t2f += (4.0 / 15.0) * (-gate_len * (1.0 / t2[0] + 1.0 / t2[1])).exp();

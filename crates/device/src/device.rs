@@ -400,7 +400,8 @@ fn build_edge(
     config: &DeviceConfig,
 ) -> Result<EdgeCalibration, DeviceBuildError> {
     let err = |reason: String| DeviceBuildError { edge: idx, reason };
-    let mut rng = StdRng::seed_from_u64(config.seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(idx as u64 + 1)));
+    let mut rng =
+        StdRng::seed_from_u64(config.seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(idx as u64 + 1)));
     let (fa, fb) = (frequencies.frequency(a), frequencies.frequency(b));
     let gate_order = if fa <= fb { (a, b) } else { (b, a) };
     let params = UnitCellParams {
@@ -432,12 +433,12 @@ fn build_edge(
         bp.leakage,
         config,
     )
-    .map_err(|reason| err(reason))?;
+    .map_err(&err)?;
     // Nonstandard criteria off the strong-drive trajectory.
     let fast_traj = cell.trajectory(config.xi_nonstandard, &config.nonstandard_traj);
     let select = |criterion: SelectionCriterion,
-                      strategy: BasisStrategy,
-                      rng: &mut StdRng|
+                  strategy: BasisStrategy,
+                  rng: &mut StdRng|
      -> Result<SelectedBasis, DeviceBuildError> {
         let tune = if config.tomography {
             tuneup_from_trajectory(
@@ -471,10 +472,13 @@ fn build_edge(
             ))
         })?;
         let leak = fast_traj.points[tune.selected_index].leakage;
-        finish_basis(strategy, tune.duration, tune.refined_gate, leak, config)
-            .map_err(|reason| err(reason))
+        finish_basis(strategy, tune.duration, tune.refined_gate, leak, config).map_err(&err)
     };
-    let criterion1 = select(SelectionCriterion::SwapIn3, BasisStrategy::Criterion1, &mut rng)?;
+    let criterion1 = select(
+        SelectionCriterion::SwapIn3,
+        BasisStrategy::Criterion1,
+        &mut rng,
+    )?;
     let criterion2 = select(
         SelectionCriterion::SwapIn3CnotIn2,
         BasisStrategy::Criterion2,

@@ -38,11 +38,7 @@ pub struct FrequencyAllocation {
 
 impl FrequencyAllocation {
     /// Samples frequencies for every qubit of the grid.
-    pub fn sample<R: Rng + ?Sized>(
-        grid: &GridTopology,
-        plan: &FrequencyPlan,
-        rng: &mut R,
-    ) -> Self {
+    pub fn sample<R: Rng + ?Sized>(grid: &GridTopology, plan: &FrequencyPlan, rng: &mut R) -> Self {
         let n = grid.n_qubits();
         let mut freqs = Vec::with_capacity(n);
         let mut is_high = Vec::with_capacity(n);

@@ -105,11 +105,11 @@ impl GridTopology {
     pub fn distances(&self) -> Vec<Vec<usize>> {
         let n = self.n_qubits();
         let mut d = vec![vec![0usize; n]; n];
-        for a in 0..n {
+        for (a, row) in d.iter_mut().enumerate() {
             let (ra, ca) = self.position(a);
-            for b in 0..n {
+            for (b, slot) in row.iter_mut().enumerate() {
                 let (rb, cb) = self.position(b);
-                d[a][b] = ra.abs_diff(rb) + ca.abs_diff(cb);
+                *slot = ra.abs_diff(rb) + ca.abs_diff(cb);
             }
         }
         d

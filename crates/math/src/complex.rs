@@ -204,6 +204,7 @@ impl Mul<Complex64> for f64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z * w^-1
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.inv()
     }

@@ -116,7 +116,7 @@ impl DMat {
     pub fn scale(&self, k: Complex64) -> DMat {
         let mut m = self.clone();
         for z in &mut m.data {
-            *z = *z * k;
+            *z *= k;
         }
         m
     }
@@ -197,13 +197,13 @@ impl DMat {
     pub fn mul_vec(&self, v: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(v.len(), self.cols);
         let mut out = vec![Complex64::ZERO; self.rows];
-        for r in 0..self.rows {
+        for (r, slot) in out.iter_mut().enumerate() {
             let mut acc = Complex64::ZERO;
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             for (a, b) in row.iter().zip(v) {
                 acc += *a * *b;
             }
-            out[r] = acc;
+            *slot = acc;
         }
         out
     }

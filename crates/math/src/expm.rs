@@ -73,16 +73,14 @@ fn pade13(a: &DMat) -> DMat {
     let a4 = &a2 * &a2;
     let a6 = &a2 * &a4;
     // U = A (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
-    let inner_u = &(&a6.scale(Complex64::real(B13[13]))
-        + &a4.scale(Complex64::real(B13[11])))
+    let inner_u = &(&a6.scale(Complex64::real(B13[13])) + &a4.scale(Complex64::real(B13[11])))
         + &a2.scale(Complex64::real(B13[9]));
     let u_poly = &(&(&(&a6 * &inner_u) + &a6.scale(Complex64::real(B13[7])))
         + &a4.scale(Complex64::real(B13[5])))
         + &(&a2.scale(Complex64::real(B13[3])) + &ident.scale(Complex64::real(B13[1])));
     let u = a * &u_poly;
     // V = A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
-    let inner_v = &(&a6.scale(Complex64::real(B13[12]))
-        + &a4.scale(Complex64::real(B13[10])))
+    let inner_v = &(&a6.scale(Complex64::real(B13[12])) + &a4.scale(Complex64::real(B13[10])))
         + &a2.scale(Complex64::real(B13[8]));
     let v = &(&(&(&a6 * &inner_v) + &a6.scale(Complex64::real(B13[6])))
         + &a4.scale(Complex64::real(B13[4])))
@@ -122,7 +120,11 @@ mod tests {
         for r in 0..5 {
             for c in 0..5 {
                 let re = ((r * 3 + c) % 7) as f64;
-                let im = if r == c { 0.0 } else { ((r + 2 * c) % 5) as f64 };
+                let im = if r == c {
+                    0.0
+                } else {
+                    ((r + 2 * c) % 5) as f64
+                };
                 h[(r, c)] = Complex64::new(re, im);
             }
         }
@@ -138,7 +140,11 @@ mod tests {
         for r in 0..6 {
             for c in 0..6 {
                 let re = ((r * 5 + c * 3) % 11) as f64 / 3.0;
-                let im = if r == c { 0.0 } else { ((r * 2 + c) % 7) as f64 / 4.0 };
+                let im = if r == c {
+                    0.0
+                } else {
+                    ((r * 2 + c) % 7) as f64 / 4.0
+                };
                 h[(r, c)] = Complex64::new(re, im);
             }
         }

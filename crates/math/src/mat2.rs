@@ -143,10 +143,7 @@ impl Mat2 {
         let s = (theta / 2.0).sin();
         Mat2::from_rows([
             [Complex64::real(c), -Complex64::cis(lambda) * s],
-            [
-                Complex64::cis(phi) * s,
-                Complex64::cis(phi + lambda) * c,
-            ],
+            [Complex64::cis(phi) * s, Complex64::cis(phi + lambda) * c],
         ])
     }
 
@@ -192,7 +189,7 @@ impl Mat2 {
         let mut out = *self;
         for r in 0..2 {
             for c in 0..2 {
-                out.e[r][c] = out.e[r][c] * k;
+                out.e[r][c] *= k;
             }
         }
         out
@@ -260,8 +257,7 @@ impl Mat2 {
     /// Reconstructs a unitary from ZYZ Euler angles; inverse of
     /// [`Mat2::zyz_angles`].
     pub fn from_zyz(theta: f64, phi: f64, lambda: f64, global_phase: f64) -> Mat2 {
-        (Mat2::rz(phi) * Mat2::ry(theta) * Mat2::rz(lambda))
-            .scale(Complex64::cis(global_phase))
+        (Mat2::rz(phi) * Mat2::ry(theta) * Mat2::rz(lambda)).scale(Complex64::cis(global_phase))
     }
 }
 

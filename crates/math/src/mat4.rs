@@ -226,10 +226,8 @@ impl Mat4 {
         let m = &self.e;
         let det3 = |r: [usize; 3], c: [usize; 3]| -> Complex64 {
             m[r[0]][c[0]] * (m[r[1]][c[1]] * m[r[2]][c[2]] - m[r[1]][c[2]] * m[r[2]][c[1]])
-                - m[r[0]][c[1]]
-                    * (m[r[1]][c[0]] * m[r[2]][c[2]] - m[r[1]][c[2]] * m[r[2]][c[0]])
-                + m[r[0]][c[2]]
-                    * (m[r[1]][c[0]] * m[r[2]][c[1]] - m[r[1]][c[1]] * m[r[2]][c[0]])
+                - m[r[0]][c[1]] * (m[r[1]][c[0]] * m[r[2]][c[2]] - m[r[1]][c[2]] * m[r[2]][c[0]])
+                + m[r[0]][c[2]] * (m[r[1]][c[0]] * m[r[2]][c[1]] - m[r[1]][c[1]] * m[r[2]][c[0]])
         };
         let rows = [1, 2, 3];
         let cols = [[1, 2, 3], [0, 2, 3], [0, 1, 3], [0, 1, 2]];
@@ -247,7 +245,7 @@ impl Mat4 {
         let mut out = *self;
         for r in 0..4 {
             for c in 0..4 {
-                out.e[r][c] = out.e[r][c] * k;
+                out.e[r][c] *= k;
             }
         }
         out

@@ -93,7 +93,7 @@ pub fn haar_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> DMat {
         // MGS, so draw a random phase to restore Haar measure).
         let phase = Complex64::cis(rng.gen::<f64>() * 2.0 * std::f64::consts::PI);
         for i in 0..n {
-            q[(i, j)] = q[(i, j)] * phase;
+            q[(i, j)] *= phase;
         }
     }
     q

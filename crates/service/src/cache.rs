@@ -1,0 +1,247 @@
+//! The shared synthesis cache: a sharded LRU map implementing
+//! [`nsb_synth::SynthCache`].
+//!
+//! Keys are quantized Weyl coordinates plus basis and mode fingerprints
+//! (see `nsb_synth::SynthKey`); every entry also stores the full target
+//! fingerprint, and lookups only return on an exact match, so a hit is
+//! bit-identical to a fresh synthesis. Sharding keeps lock contention low
+//! when many workers compile concurrently: each key hashes to one shard
+//! with its own mutex and its own LRU clock.
+
+use crate::metrics::ServiceMetrics;
+use nsb_synth::{SynthCache, SynthKey, Synthesized2Q};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss totals of a [`SharedSynthCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a stored synthesis.
+    pub hits: u64,
+    /// Lookups that found nothing (or a fingerprint mismatch).
+    pub misses: u64,
+    /// Entries currently stored across all shards.
+    pub entries: usize,
+}
+
+#[derive(Clone)]
+struct Entry {
+    target_fp: u64,
+    value: Synthesized2Q,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<SynthKey, Entry>,
+    clock: u64,
+}
+
+/// A thread-safe LRU synthesis cache shared by all service workers.
+pub struct SharedSynthCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    metrics: Option<Arc<ServiceMetrics>>,
+}
+
+impl SharedSynthCache {
+    /// Number of independently locked shards.
+    pub const SHARDS: usize = 16;
+
+    /// Creates a cache holding at most ~`capacity` entries (rounded up
+    /// to a multiple of the shard count; at least one entry per shard).
+    pub fn new(capacity: usize) -> Self {
+        SharedSynthCache {
+            shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            capacity_per_shard: capacity.div_ceil(Self::SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            metrics: None,
+        }
+    }
+
+    /// Mirrors hit/miss counts into `metrics` (for
+    /// [`ServiceMetrics::report`]) in addition to the cache's own
+    /// counters.
+    pub fn with_metrics(mut self, metrics: Arc<ServiceMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Current hit/miss/entry totals.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap().map.len())
+                .sum(),
+        }
+    }
+
+    fn shard_of(&self, key: &SynthKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn record(&self, hit: bool) {
+        let (own, mirrored) = if hit {
+            (&self.hits, self.metrics.as_ref().map(|m| &m.cache_hits))
+        } else {
+            (&self.misses, self.metrics.as_ref().map(|m| &m.cache_misses))
+        };
+        own.fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = mirrored {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl SynthCache for SharedSynthCache {
+    fn lookup(&self, key: &SynthKey, target_fp: u64) -> Option<Synthesized2Q> {
+        let mut shard = self.shard_of(key).lock().unwrap();
+        shard.clock += 1;
+        let clock = shard.clock;
+        let found = match shard.map.get_mut(key) {
+            Some(entry) if entry.target_fp == target_fp => {
+                entry.last_used = clock;
+                Some(entry.value.clone())
+            }
+            _ => None,
+        };
+        drop(shard);
+        self.record(found.is_some());
+        found
+    }
+
+    fn store(&self, key: SynthKey, target_fp: u64, value: &Synthesized2Q) {
+        let mut shard = self.shard_of(&key).lock().unwrap();
+        shard.clock += 1;
+        let clock = shard.clock;
+        shard.map.insert(
+            key,
+            Entry {
+                target_fp,
+                value: value.clone(),
+                last_used: clock,
+            },
+        );
+        // Evict the least recently used entry once over capacity. The
+        // linear scan is fine: shards are small and eviction only runs
+        // on insertions past capacity.
+        while shard.map.len() > self.capacity_per_shard {
+            let oldest = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty shard");
+            shard.map.remove(&oldest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsb_math::Mat4;
+    use nsb_synth::Decomposer;
+
+    fn key(tag: u8) -> SynthKey {
+        SynthKey {
+            coord: [tag as i64, 0, 0],
+            basis_id: 1,
+            tag,
+        }
+    }
+
+    fn sample() -> Synthesized2Q {
+        Decomposer::new(Mat4::sqrt_iswap())
+            .decompose(&Mat4::cnot())
+            .unwrap()
+    }
+
+    #[test]
+    fn lookup_respects_fingerprint() {
+        let cache = SharedSynthCache::new(64);
+        let v = sample();
+        cache.store(key(0), 111, &v);
+        assert!(cache.lookup(&key(0), 222).is_none(), "fingerprint mismatch");
+        assert!(cache.lookup(&key(0), 111).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // Capacity 16 => one entry per shard; storing two keys in the
+        // same shard must evict the first.
+        let cache = SharedSynthCache::new(1);
+        let v = sample();
+        // Find two distinct keys landing in the same shard.
+        let base = key(0);
+        let mut other = None;
+        for t in 1u8..=255 {
+            let k = key(t);
+            if std::ptr::eq(cache.shard_of(&k), cache.shard_of(&base)) {
+                other = Some(k);
+                break;
+            }
+        }
+        let other = other.expect("some key shares a shard");
+        cache.store(base, 1, &v);
+        cache.store(other, 2, &v);
+        assert!(cache.lookup(&base, 1).is_none(), "evicted");
+        assert!(cache.lookup(&other, 2).is_some());
+    }
+
+    #[test]
+    fn touch_on_lookup_protects_hot_entries() {
+        let cache = SharedSynthCache::new(1);
+        let v = sample();
+        let base = key(0);
+        let mut same_shard = Vec::new();
+        for t in 1u8..=255 {
+            let k = key(t);
+            if std::ptr::eq(cache.shard_of(&k), cache.shard_of(&base)) {
+                same_shard.push(k);
+                if same_shard.len() == 2 {
+                    break;
+                }
+            }
+        }
+        let [a, b] = same_shard[..] else {
+            panic!("expected two keys sharing the base shard")
+        };
+        cache.store(base, 1, &v);
+        cache.store(a, 2, &v); // evicts base (cap 1/shard)
+        assert!(cache.lookup(&a, 2).is_some()); // touch a
+        cache.store(b, 3, &v); // must evict nothing older than a... base gone, a is hot
+        assert!(cache.lookup(&b, 3).is_some());
+        let stats = cache.stats();
+        assert!(stats.entries <= SharedSynthCache::SHARDS);
+    }
+
+    #[test]
+    fn metrics_mirroring() {
+        let metrics = Arc::new(ServiceMetrics::default());
+        let cache = SharedSynthCache::new(8).with_metrics(metrics.clone());
+        let v = sample();
+        cache.store(key(1), 5, &v);
+        cache.lookup(&key(1), 5);
+        cache.lookup(&key(2), 5);
+        assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
+        assert!((metrics.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

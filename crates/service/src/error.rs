@@ -1,0 +1,77 @@
+//! Service-level error type.
+
+use nsb_compiler::CompileError;
+use std::error::Error;
+use std::fmt;
+
+/// Why a submitted job did not produce a compiled circuit.
+#[derive(Clone, Debug)]
+pub enum ServiceError {
+    /// The bounded job queue was full; the caller should back off and
+    /// resubmit.
+    QueueFull {
+        /// The queue's capacity at the time of rejection.
+        capacity: usize,
+    },
+    /// The service is shutting down and no longer accepts jobs.
+    ShuttingDown,
+    /// The job's deadline elapsed before compilation finished.
+    DeadlineExceeded {
+        /// The pipeline stage (or `"queued"`) the deadline fired in.
+        stage: &'static str,
+    },
+    /// The job was canceled through its [`JobHandle`](crate::JobHandle).
+    Canceled,
+    /// Compilation itself failed (a numerical synthesis did not
+    /// converge).
+    Compile(CompileError),
+    /// The worker processing the job disappeared without reporting a
+    /// result (only possible if a worker thread panicked).
+    Disconnected,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "job queue full (capacity {capacity})")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded during stage `{stage}`")
+            }
+            ServiceError::Canceled => write!(f, "job canceled"),
+            ServiceError::Compile(e) => write!(f, "{e}"),
+            ServiceError::Disconnected => write!(f, "worker disconnected before reporting"),
+        }
+    }
+}
+
+impl Error for ServiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServiceError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompileError> for ServiceError {
+    fn from(e: CompileError) -> Self {
+        ServiceError::Compile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ServiceError::QueueFull { capacity: 8 };
+        assert!(e.to_string().contains("capacity 8"));
+        assert!(e.source().is_none());
+        let d = ServiceError::DeadlineExceeded { stage: "lower" };
+        assert!(d.to_string().contains("lower"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Job descriptions and the caller-side handle.
+
+use crate::error::ServiceError;
+use nsb_circuit::Circuit;
+use nsb_compiler::{CompiledCircuit, LoweringMode};
+use nsb_device::BasisStrategy;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What to compile and how.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The logical circuit.
+    pub circuit: Circuit,
+    /// Basis-gate strategy to compile with.
+    pub strategy: BasisStrategy,
+    /// Lowering mode override; `None` uses the strategy's default
+    /// ([`nsb_compiler::default_mode`]).
+    pub mode: Option<LoweringMode>,
+    /// Optional wall-clock budget, measured from submission. Jobs whose
+    /// deadline elapses — even while still queued — fail with
+    /// [`ServiceError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A job with the strategy's default mode and no deadline.
+    pub fn new(circuit: Circuit, strategy: BasisStrategy) -> Self {
+        JobSpec {
+            circuit,
+            strategy,
+            mode: None,
+            deadline: None,
+        }
+    }
+
+    /// Sets a lowering-mode override.
+    pub fn with_mode(mut self, mode: LoweringMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Sets a deadline relative to submission.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// One queued unit of work (internal to the service). The job id lives
+/// only on the caller's [`JobHandle`]; workers have no use for it.
+pub(crate) struct Job {
+    pub(crate) spec: JobSpec,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) cancel: Arc<AtomicBool>,
+    pub(crate) result_tx: mpsc::Sender<Result<CompiledCircuit, ServiceError>>,
+}
+
+/// The caller's side of a submitted job: await the result, or cancel.
+pub struct JobHandle {
+    pub(crate) id: u64,
+    pub(crate) cancel: Arc<AtomicBool>,
+    pub(crate) result_rx: mpsc::Receiver<Result<CompiledCircuit, ServiceError>>,
+}
+
+impl JobHandle {
+    /// The service-assigned job id (also useful for correlating logs).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Requests cancellation. Best-effort: a job already past its last
+    /// cancellation check still completes. Safe to call multiple times
+    /// and from any thread (the handle itself stays usable).
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`]; [`ServiceError::Disconnected`] when the
+    /// worker vanished without reporting (worker panic).
+    pub fn wait(self) -> Result<CompiledCircuit, ServiceError> {
+        self.result_rx
+            .recv()
+            .unwrap_or(Err(ServiceError::Disconnected))
+    }
+
+    /// Waits up to `timeout` for the result; `None` when it is not
+    /// ready yet (the handle stays usable).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<CompiledCircuit, ServiceError>> {
+        match self.result_rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServiceError::Disconnected)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_reports_disconnect_when_sender_dropped() {
+        let (tx, rx) = mpsc::channel();
+        let handle = JobHandle {
+            id: 7,
+            cancel: Arc::new(AtomicBool::new(false)),
+            result_rx: rx,
+        };
+        assert_eq!(handle.id(), 7);
+        drop(tx);
+        assert!(matches!(handle.wait(), Err(ServiceError::Disconnected)));
+    }
+
+    #[test]
+    fn cancel_sets_the_flag() {
+        let (_tx, rx) = mpsc::channel::<Result<CompiledCircuit, ServiceError>>();
+        let handle = JobHandle {
+            id: 0,
+            cancel: Arc::new(AtomicBool::new(false)),
+            result_rx: rx,
+        };
+        let flag = handle.cancel.clone();
+        handle.cancel();
+        assert!(flag.load(Ordering::Relaxed));
+    }
+}

@@ -1,0 +1,51 @@
+//! # nsb-service
+//!
+//! A concurrent compilation service over the MICRO 2022 nonstandard-basis
+//! toolchain: a bounded job queue feeding a `std::thread` worker pool,
+//! with a shared, thread-safe synthesis cache so every worker reuses the
+//! two-qubit decompositions any other worker has already computed.
+//!
+//! The paper's compilation flow spends almost all of its time in
+//! numerical two-qubit synthesis, and the same targets (CPhase angles,
+//! CNOT, SWAP per edge) recur across circuits job after job. Batch
+//! compilation therefore parallelizes almost perfectly *and* speeds up
+//! further as the [`SharedSynthCache`] warms: cache hits are
+//! bit-identical to fresh syntheses (keys carry a full target
+//! fingerprint — see [`nsb_synth::SynthCache`]), so results never depend
+//! on cache state or scheduling order.
+//!
+//! Jobs support per-job deadlines and cooperative cancellation, checked
+//! between pipeline stages (route, lower, schedule); shutdown is
+//! graceful — accepted jobs drain before the workers exit. Everything is
+//! `std`-only.
+//!
+//! ```
+//! use nsb_circuit::generators;
+//! use nsb_device::{BasisStrategy, Device, DeviceConfig};
+//! use nsb_service::{CompileService, JobSpec, ServiceConfig};
+//!
+//! let device = Device::build(3, 2, DeviceConfig::fast_test()).unwrap();
+//! let service = CompileService::new(device, ServiceConfig::default());
+//! let handle = service
+//!     .submit(JobSpec::new(generators::qft(4, true), BasisStrategy::Criterion2))
+//!     .unwrap();
+//! let compiled = handle.wait().unwrap();
+//! assert!(compiled.fidelity > 0.9);
+//! println!("{}", service.metrics().report());
+//! ```
+
+#![warn(missing_docs)]
+
+mod bounded;
+mod cache;
+mod error;
+mod job;
+mod metrics;
+mod service;
+
+pub use bounded::{BoundedQueue, PushError};
+pub use cache::{CacheStats, SharedSynthCache};
+pub use error::ServiceError;
+pub use job::{JobHandle, JobSpec};
+pub use metrics::ServiceMetrics;
+pub use service::{CompileService, ServiceConfig};

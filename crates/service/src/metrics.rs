@@ -1,0 +1,115 @@
+//! Lock-free service counters and the text report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters the service updates on every job; all atomic, so they can be
+/// read at any time from any thread without stalling workers.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs that produced a compiled circuit.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that failed with a compilation error.
+    pub jobs_failed: AtomicU64,
+    /// Jobs that ran past their deadline (queued or mid-pipeline).
+    pub jobs_timed_out: AtomicU64,
+    /// Jobs canceled through their handle.
+    pub jobs_canceled: AtomicU64,
+    /// Jobs currently sitting in the queue.
+    pub queue_depth: AtomicU64,
+    /// Shared-cache hits (mirrored from the cache).
+    pub cache_hits: AtomicU64,
+    /// Shared-cache misses (mirrored from the cache).
+    pub cache_misses: AtomicU64,
+    /// Total nanoseconds spent in SABRE routing.
+    pub route_nanos: AtomicU64,
+    /// Total nanoseconds spent lowering (includes synthesis).
+    pub lower_nanos: AtomicU64,
+    /// Total nanoseconds spent scheduling and fidelity evaluation.
+    pub schedule_nanos: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// Fraction of shared-cache lookups that hit, in `[0, 1]`; `0` when
+    /// no lookup has happened yet.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits.load(Ordering::Relaxed) as f64;
+        let misses = self.cache_misses.load(Ordering::Relaxed) as f64;
+        if hits + misses == 0.0 {
+            0.0
+        } else {
+            hits / (hits + misses)
+        }
+    }
+
+    /// Adds a stage latency sample.
+    pub(crate) fn record_stage(&self, stage: Stage, elapsed: Duration) {
+        let nanos = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        let counter = match stage {
+            Stage::Route => &self.route_nanos,
+            Stage::Lower => &self.lower_nanos,
+            Stage::Schedule => &self.schedule_nanos,
+        };
+        counter.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Renders all counters as a small human-readable report.
+    pub fn report(&self) -> String {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let ms = |c: &AtomicU64| load(c) as f64 / 1e6;
+        format!(
+            "service metrics\n\
+             \x20 jobs: {} submitted, {} completed, {} failed, {} timed out, {} canceled\n\
+             \x20 queue depth: {}\n\
+             \x20 cache: {} hits, {} misses ({:.1}% hit rate)\n\
+             \x20 stage latency sums: route {:.1} ms, lower {:.1} ms, schedule {:.1} ms",
+            load(&self.jobs_submitted),
+            load(&self.jobs_completed),
+            load(&self.jobs_failed),
+            load(&self.jobs_timed_out),
+            load(&self.jobs_canceled),
+            load(&self.queue_depth),
+            load(&self.cache_hits),
+            load(&self.cache_misses),
+            100.0 * self.cache_hit_rate(),
+            ms(&self.route_nanos),
+            ms(&self.lower_nanos),
+            ms(&self.schedule_nanos),
+        )
+    }
+}
+
+/// Pipeline stages with tracked latency.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Stage {
+    Route,
+    Lower,
+    Schedule,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        let m = ServiceMetrics::default();
+        assert_eq!(m.cache_hit_rate(), 0.0);
+        m.cache_hits.store(3, Ordering::Relaxed);
+        m.cache_misses.store(1, Ordering::Relaxed);
+        assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_mentions_all_counters() {
+        let m = ServiceMetrics::default();
+        m.jobs_submitted.store(5, Ordering::Relaxed);
+        m.record_stage(Stage::Route, Duration::from_millis(2));
+        let r = m.report();
+        assert!(r.contains("5 submitted"));
+        assert!(r.contains("route 2.0 ms"));
+        assert!(r.contains("hit rate"));
+    }
+}

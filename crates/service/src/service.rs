@@ -1,0 +1,431 @@
+//! The concurrent compilation service: worker pool, staged pipeline,
+//! deadlines, cancellation and graceful shutdown.
+
+use crate::bounded::{BoundedQueue, PushError};
+use crate::cache::SharedSynthCache;
+use crate::error::ServiceError;
+use crate::job::{Job, JobHandle, JobSpec};
+use crate::metrics::{ServiceMetrics, Stage};
+use nsb_compiler::{default_mode, sabre_route, CompiledCircuit, Lowerer, SabreConfig};
+use nsb_compiler::{schedule, CompileError};
+use nsb_device::Device;
+use nsb_synth::SynthCache;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Service sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads compiling jobs. Defaults to the machine's
+    /// available parallelism, capped at 8.
+    pub workers: usize,
+    /// Bounded job-queue capacity; submissions beyond it fail with
+    /// [`ServiceError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Approximate shared synthesis-cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(8),
+            queue_capacity: 256,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// A concurrent compilation service over one device.
+///
+/// Jobs are submitted with [`submit`](CompileService::submit) and run on
+/// a fixed worker pool; all workers share one [`SharedSynthCache`], so a
+/// two-qubit target any job has decomposed before is reused by every
+/// later job (bit-identically — compiled output never depends on cache
+/// state). Dropping the service shuts it down gracefully: queued jobs
+/// still run, then workers exit.
+pub struct CompileService {
+    device: Arc<Device>,
+    queue: Arc<BoundedQueue<Job>>,
+    cache: Arc<SharedSynthCache>,
+    metrics: Arc<ServiceMetrics>,
+    accepting: Arc<AtomicBool>,
+    next_id: AtomicU64,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CompileService {
+    /// Starts the worker pool for `device`.
+    pub fn new(device: Device, config: ServiceConfig) -> Self {
+        let device = Arc::new(device);
+        let metrics = Arc::new(ServiceMetrics::default());
+        let cache =
+            Arc::new(SharedSynthCache::new(config.cache_capacity).with_metrics(metrics.clone()));
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
+        let accepting = Arc::new(AtomicBool::new(true));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let device = device.clone();
+                let queue = queue.clone();
+                let cache = cache.clone();
+                let metrics = metrics.clone();
+                std::thread::Builder::new()
+                    .name(format!("nsb-service-worker-{i}"))
+                    .spawn(move || worker_loop(&device, &queue, &cache, &metrics))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        CompileService {
+            device,
+            queue,
+            cache,
+            metrics,
+            accepting,
+            next_id: AtomicU64::new(0),
+            workers,
+        }
+    }
+
+    /// The device jobs compile onto.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Live service counters.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// The shared synthesis cache (e.g. for
+    /// [`stats`](SharedSynthCache::stats)).
+    pub fn cache(&self) -> &Arc<SharedSynthCache> {
+        &self.cache
+    }
+
+    /// Submits a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::QueueFull`] when the bounded queue is at
+    /// capacity, [`ServiceError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, ServiceError> {
+        if !self.accepting.load(Ordering::Relaxed) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (result_tx, result_rx) = mpsc::channel();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let deadline = spec.deadline.map(|d| Instant::now() + d);
+        let job = Job {
+            spec,
+            deadline,
+            cancel: cancel.clone(),
+            result_tx,
+        };
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                self.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+                self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+                Ok(JobHandle {
+                    id,
+                    cancel,
+                    result_rx,
+                })
+            }
+            Err(PushError::Full(_)) => Err(ServiceError::QueueFull {
+                capacity: self.queue.capacity(),
+            }),
+            Err(PushError::Closed(_)) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Stops accepting jobs, lets the workers drain everything already
+    /// queued, and joins them. Called automatically on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.accepting.store(false, Ordering::Relaxed);
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for CompileService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// One worker: pop, compile in stages, report. Exits when the queue is
+/// closed and drained.
+fn worker_loop(
+    device: &Device,
+    queue: &BoundedQueue<Job>,
+    cache: &Arc<SharedSynthCache>,
+    metrics: &ServiceMetrics,
+) {
+    while let Some(job) = queue.pop() {
+        metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let outcome = run_job(device, cache, metrics, &job);
+        match &outcome {
+            Ok(_) => metrics.jobs_completed.fetch_add(1, Ordering::Relaxed),
+            Err(ServiceError::Canceled) => metrics.jobs_canceled.fetch_add(1, Ordering::Relaxed),
+            Err(ServiceError::DeadlineExceeded { .. }) => {
+                metrics.jobs_timed_out.fetch_add(1, Ordering::Relaxed)
+            }
+            Err(_) => metrics.jobs_failed.fetch_add(1, Ordering::Relaxed),
+        };
+        // The caller may have dropped its handle; that is fine.
+        let _ = job.result_tx.send(outcome);
+    }
+}
+
+/// Checks the two abort conditions between pipeline stages.
+fn abort_check(job: &Job, stage: &'static str) -> Result<(), ServiceError> {
+    if job.cancel.load(Ordering::Relaxed) {
+        return Err(ServiceError::Canceled);
+    }
+    if let Some(deadline) = job.deadline {
+        if Instant::now() >= deadline {
+            return Err(ServiceError::DeadlineExceeded { stage });
+        }
+    }
+    Ok(())
+}
+
+/// The staged compile pipeline — the same passes as
+/// [`nsb_compiler::Transpiler::compile`], with cancellation/deadline
+/// checks between stages and per-stage latency accounting.
+fn run_job(
+    device: &Device,
+    cache: &Arc<SharedSynthCache>,
+    metrics: &ServiceMetrics,
+    job: &Job,
+) -> Result<CompiledCircuit, ServiceError> {
+    abort_check(job, "queued")?;
+
+    let started = Instant::now();
+    let routed = sabre_route(
+        &job.spec.circuit,
+        device.topology(),
+        &SabreConfig::default(),
+    );
+    metrics.record_stage(Stage::Route, started.elapsed());
+    abort_check(job, "route")?;
+
+    let started = Instant::now();
+    let mode = job
+        .spec
+        .mode
+        .unwrap_or_else(|| default_mode(job.spec.strategy));
+    let mut lowerer = Lowerer::new(device, job.spec.strategy, mode)
+        .with_shared_cache(cache.clone() as Arc<dyn SynthCache>);
+    let lowered = lowerer.lower(&routed.circuit);
+    metrics.record_stage(Stage::Lower, started.elapsed());
+    let ops = lowered.map_err(|synthesis| ServiceError::Compile(CompileError { synthesis }))?;
+    abort_check(job, "lower")?;
+
+    let started = Instant::now();
+    let n_qubits = device.topology().n_qubits();
+    let sched = schedule(&ops, n_qubits, device.config().t_1q);
+    let fidelity = sched.coherence_fidelity(device.config().coherence_time);
+    metrics.record_stage(Stage::Schedule, started.elapsed());
+
+    Ok(CompiledCircuit {
+        ops,
+        n_qubits,
+        initial_layout: routed.initial_layout,
+        final_layout: routed.final_layout,
+        swaps_inserted: routed.swaps_inserted,
+        schedule: sched,
+        fidelity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsb_circuit::generators;
+    use nsb_device::{BasisStrategy, DeviceConfig};
+    use std::time::Duration;
+
+    fn test_device() -> Device {
+        Device::build(3, 2, DeviceConfig::fast_test()).expect("test device")
+    }
+
+    fn small_config() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 256,
+        }
+    }
+
+    #[test]
+    fn compiles_like_the_plain_transpiler() {
+        let device = test_device();
+        let logical = generators::qft(4, true);
+        let expected = nsb_compiler::Transpiler::new(&device, BasisStrategy::Criterion2)
+            .compile(&logical)
+            .expect("direct compile");
+        let service = CompileService::new(device, small_config());
+        let handle = service
+            .submit(JobSpec::new(logical, BasisStrategy::Criterion2))
+            .expect("submit");
+        let compiled = handle.wait().expect("service compile");
+        assert_eq!(compiled.ops.len(), expected.ops.len());
+        assert_eq!(compiled.fidelity.to_bits(), expected.fidelity.to_bits());
+        assert_eq!(service.metrics().jobs_completed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn zero_deadline_times_out() {
+        let service = CompileService::new(test_device(), small_config());
+        let spec = JobSpec::new(generators::ghz(4), BasisStrategy::Criterion1)
+            .with_deadline(Duration::ZERO);
+        let handle = service.submit(spec).expect("submit");
+        match handle.wait() {
+            Err(ServiceError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        assert_eq!(service.metrics().jobs_timed_out.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn queue_full_is_reported() {
+        let service = CompileService::new(
+            test_device(),
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 1,
+                cache_capacity: 16,
+            },
+        );
+        // Saturate: keep submitting until the bounded queue rejects one.
+        let mut handles = Vec::new();
+        let mut saw_full = false;
+        for _ in 0..64 {
+            match service.submit(JobSpec::new(
+                generators::qft(5, true),
+                BasisStrategy::Baseline,
+            )) {
+                Ok(h) => handles.push(h),
+                Err(ServiceError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    saw_full = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_full, "queue never filled");
+        for h in handles {
+            h.wait().expect("queued jobs still complete");
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_inflight_jobs() {
+        let service = CompileService::new(
+            test_device(),
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 16,
+                cache_capacity: 256,
+            },
+        );
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                service
+                    .submit(JobSpec::new(generators::ghz(4), BasisStrategy::Criterion2))
+                    .expect("submit")
+            })
+            .collect();
+        service.shutdown();
+        for h in handles {
+            h.wait().expect("accepted job must finish across shutdown");
+        }
+    }
+
+    #[test]
+    fn rejects_after_shutdown() {
+        let device = test_device();
+        let service = CompileService::new(device.clone(), small_config());
+        service.accepting.store(false, Ordering::Relaxed);
+        match service.submit(JobSpec::new(generators::ghz(3), BasisStrategy::Baseline)) {
+            Err(ServiceError::ShuttingDown) => {}
+            other => panic!("expected shutting-down, got {:?}", other.map(|h| h.id())),
+        }
+    }
+
+    #[test]
+    fn cancel_while_queued() {
+        let service = CompileService::new(
+            test_device(),
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 16,
+                cache_capacity: 256,
+            },
+        );
+        // Occupy the single worker with slow jobs, then cancel a queued
+        // one before it can start.
+        let slow: Vec<_> = (0..2)
+            .map(|_| {
+                service
+                    .submit(JobSpec::new(
+                        generators::qft(6, true),
+                        BasisStrategy::Baseline,
+                    ))
+                    .expect("submit slow")
+            })
+            .collect();
+        let victim = service
+            .submit(JobSpec::new(generators::ghz(4), BasisStrategy::Criterion1))
+            .expect("submit victim");
+        victim.cancel();
+        match victim.wait() {
+            Err(ServiceError::Canceled) => {}
+            Ok(_) => panic!("victim ran to completion despite cancellation"),
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+        for h in slow {
+            h.wait().expect("slow jobs unaffected");
+        }
+        assert_eq!(service.metrics().jobs_canceled.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn shared_cache_fills_and_hits_across_jobs() {
+        let service = CompileService::new(
+            test_device(),
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 16,
+                cache_capacity: 256,
+            },
+        );
+        // Baseline strategy lowers CPhase gates by direct decomposition,
+        // which is what the shared cache accelerates.
+        let spec = JobSpec::new(generators::qft(4, true), BasisStrategy::Baseline);
+        service.submit(spec.clone()).unwrap().wait().unwrap();
+        let after_first = service.cache().stats();
+        assert!(after_first.entries > 0, "first job must populate the cache");
+        service.submit(spec).unwrap().wait().unwrap();
+        let after_second = service.cache().stats();
+        assert!(
+            after_second.hits > after_first.hits,
+            "second identical job must hit the shared cache"
+        );
+        assert!(service.metrics().cache_hit_rate() > 0.0);
+    }
+}

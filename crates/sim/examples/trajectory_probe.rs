@@ -1,25 +1,42 @@
 //! Quick physics probe (not part of the library API).
 use nsb_sim::*;
-use nsb_weyl::{entangling_power, SelectionCriterion, first_crossing, is_perfect_entangler};
+use nsb_weyl::{entangling_power, first_crossing, is_perfect_entangler, SelectionCriterion};
 
 fn main() {
     let cell = PreparedCell::prepare(&UnitCellParams::default());
-    println!("residual ZZ: {:.3e} rad/ns ({:.2} kHz)", cell.residual_zz, cell.residual_zz/(2.0*std::f64::consts::PI)*1e6);
-    println!("dressed diff freq: {:.4} GHz", cell.difference_frequency()/(2.0*std::f64::consts::PI));
+    println!(
+        "residual ZZ: {:.3e} rad/ns ({:.2} kHz)",
+        cell.residual_zz,
+        cell.residual_zz / (2.0 * std::f64::consts::PI) * 1e6
+    );
+    println!(
+        "dressed diff freq: {:.4} GHz",
+        cell.difference_frequency() / (2.0 * std::f64::consts::PI)
+    );
     for (xi, tmax) in [(0.005, 260.0), (0.01, 140.0), (0.04, 40.0)] {
-        let cfg = TrajectoryConfig { t_max: tmax, ..Default::default() };
+        let cfg = TrajectoryConfig {
+            t_max: tmax,
+            ..Default::default()
+        };
         let t0 = std::time::Instant::now();
         let traj = cell.trajectory(xi, &cfg);
         let coords = traj.coords();
         let pe = traj.first_perfect_entangler().map(|p| p.duration);
-        let c1 = first_crossing(&coords, SelectionCriterion::SwapIn3, 1.0/6.0);
-        let c2 = first_crossing(&coords, SelectionCriterion::SwapIn3CnotIn2, 1.0/6.0);
+        let c1 = first_crossing(&coords, SelectionCriterion::SwapIn3, 1.0 / 6.0);
+        let c2 = first_crossing(&coords, SelectionCriterion::SwapIn3CnotIn2, 1.0 / 6.0);
         let sq = traj.closest_to(nsb_weyl::WeylCoord::SQRT_ISWAP).unwrap();
         println!("xi={xi}: drive f={:.4} GHz  max_leak={:.2e}  firstPE={pe:?}  crit1@{:?}ns crit2@{:?}ns  closest-sqiSW: t={} dist={:.4} | elapsed {:.1}s",
             traj.drive.omega_d/(2.0*std::f64::consts::PI), traj.max_leakage(), c1, c2, sq.duration, sq.coord.class_dist(nsb_weyl::WeylCoord::SQRT_ISWAP), t0.elapsed().as_secs_f64());
         // print a few coords along the way
-        for p in traj.points.iter().step_by((tmax as usize)/10) {
-            println!("   t={:6.1}  coord={}  ep={:.4} leak={:.2e} PE={}", p.duration, p.coord, entangling_power(p.coord), p.leakage, is_perfect_entangler(p.coord,1e-9));
+        for p in traj.points.iter().step_by((tmax as usize) / 10) {
+            println!(
+                "   t={:6.1}  coord={}  ep={:.4} leak={:.2e} PE={}",
+                p.duration,
+                p.coord,
+                entangling_power(p.coord),
+                p.leakage,
+                is_perfect_entangler(p.coord, 1e-9)
+            );
         }
     }
 }

@@ -76,7 +76,7 @@ impl<'a> Stepper<'a> {
                 let nc = self.h.n_c[(r, r)].re;
                 let phase = Complex64::cis(-s * nc * dt);
                 for c in 0..dim {
-                    acc[(r, c)] = acc[(r, c)] * phase;
+                    acc[(r, c)] *= phase;
                 }
             }
             if k + 1 < steps {

@@ -49,8 +49,8 @@ impl DressedFrame {
         for (slot, &b) in bare.iter().enumerate() {
             // Find the eigenvector with maximal overlap with the bare state.
             let mut best = (0usize, -1.0f64);
-            for col in 0..dim {
-                if used[col] {
+            for (col, &taken) in used.iter().enumerate() {
+                if taken {
                     continue;
                 }
                 let ov = e.vectors[(b, col)].norm_sqr();
@@ -67,7 +67,7 @@ impl DressedFrame {
             let phase = v[b].arg();
             let rot = Complex64::cis(-phase);
             for z in &mut v {
-                *z = *z * rot;
+                *z *= rot;
             }
             states[slot] = v;
             energies[slot] = e.values[best.0];

@@ -1,0 +1,262 @@
+//! Cache-aware synthesis: keys, fingerprints and the [`SynthCache`]
+//! trait that lets callers (the compilation service, long-running
+//! compilers) share decomposition results across circuits and threads.
+//!
+//! Two-qubit decompositions are highly repetitive across circuits: the
+//! same CPhase angles, CNOTs and SWAPs recur on the same edges job after
+//! job. A decomposition is identified by
+//!
+//! * the **quantized Cartan coordinate** of the target (the paper's
+//!   Weyl-chamber geometry makes this the natural equivalence key),
+//! * a **basis id** — a fingerprint of the basis gate the decomposer
+//!   targets, and
+//! * a caller-supplied **tag** (e.g. the lowering mode), so callers with
+//!   different conventions never share entries.
+//!
+//! Locally-equivalent targets share a Cartan coordinate but need
+//! *different* local unitaries, so the coordinate alone is not a sound
+//! key for the synthesized circuit. Every cache operation therefore also
+//! carries the full **target fingerprint** (a quantized hash of the
+//! target matrix); an implementation must only return entries whose
+//! stored fingerprint matches, making a hit bit-identical to a fresh
+//! synthesis while the quantized coordinate keeps the key small and the
+//! lookup cheap.
+
+use crate::ansatz::Synthesized2Q;
+use crate::decomposer::{Decomposer, SynthesisFailed};
+use nsb_math::Mat4;
+use nsb_weyl::{kak_vector, WeylCoord};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Quantization scale for Cartan coordinates: coordinates are keyed at a
+/// resolution of `1e-6`, three orders of magnitude coarser than the
+/// synthesis tolerance and fine enough that distinct gate angles never
+/// collide.
+pub const COORD_SCALE: f64 = 1e6;
+
+/// Quantization scale for matrix-entry fingerprints (matches the
+/// per-compilation cache in the compiler's lowering pass).
+pub const ENTRY_SCALE: f64 = 1e9;
+
+/// Key identifying a decomposition in a shared synthesis cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SynthKey {
+    /// Quantized canonical Cartan coordinate of the target.
+    pub coord: [i64; 3],
+    /// Fingerprint of the basis gate being decomposed into.
+    pub basis_id: u64,
+    /// Caller context tag (e.g. lowering mode) separating cache
+    /// namespaces.
+    pub tag: u8,
+}
+
+/// Quantizes a Cartan coordinate to the cache key resolution.
+pub fn quantize_coord(c: WeylCoord) -> [i64; 3] {
+    let q = |v: f64| (v * COORD_SCALE).round() as i64;
+    [q(c.x), q(c.y), q(c.z)]
+}
+
+/// Order-sensitive fingerprint of a 4x4 unitary with entries quantized
+/// at [`ENTRY_SCALE`]; used both as the basis id and as the full-target
+/// collision check.
+pub fn mat4_fingerprint(m: &Mat4) -> u64 {
+    let mut h = DefaultHasher::new();
+    for r in 0..4 {
+        for c in 0..4 {
+            let e = m.at(r, c);
+            ((e.re * ENTRY_SCALE).round() as i64).hash(&mut h);
+            ((e.im * ENTRY_SCALE).round() as i64).hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// A shared, thread-safe store of synthesis results.
+///
+/// Implementations decide capacity and eviction; `nsb-service` provides
+/// a sharded LRU. The contract required for correctness:
+///
+/// * [`lookup`](SynthCache::lookup) must only return a value that was
+///   stored under the same key **and** the same `target_fp`;
+/// * returned values must be exactly what was stored (callers rely on
+///   cached syntheses being bit-identical to fresh ones).
+pub trait SynthCache: Send + Sync {
+    /// Returns the stored synthesis for `key` if its target fingerprint
+    /// matches, recording a hit or miss.
+    fn lookup(&self, key: &SynthKey, target_fp: u64) -> Option<Synthesized2Q>;
+
+    /// Stores a synthesis result for `key`.
+    fn store(&self, key: SynthKey, target_fp: u64, value: &Synthesized2Q);
+}
+
+/// A [`SynthCache`] that never stores anything (useful as a default and
+/// for measuring uncached baselines through the cached code path).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoCache;
+
+impl SynthCache for NoCache {
+    fn lookup(&self, _key: &SynthKey, _target_fp: u64) -> Option<Synthesized2Q> {
+        None
+    }
+
+    fn store(&self, _key: SynthKey, _target_fp: u64, _value: &Synthesized2Q) {}
+}
+
+impl Decomposer {
+    /// Fingerprint of this decomposer's basis gate, namespacing its
+    /// cache entries.
+    pub fn basis_id(&self) -> u64 {
+        mat4_fingerprint(self.basis())
+    }
+
+    /// The cache key and target fingerprint `decompose_cached` would use
+    /// for `target` under `tag`.
+    pub fn synth_key(&self, target: &Mat4, tag: u8) -> (SynthKey, u64) {
+        let key = SynthKey {
+            coord: quantize_coord(kak_vector(target)),
+            basis_id: self.basis_id(),
+            tag,
+        };
+        (key, mat4_fingerprint(target))
+    }
+
+    /// Decomposes `target` through a shared cache: returns the stored
+    /// result on a hit, otherwise synthesizes and stores.
+    ///
+    /// Because the decomposer's restart RNG is deterministic, the cached
+    /// and uncached paths return bit-identical circuits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisFailed`] exactly as [`Decomposer::decompose`]
+    /// does. Failures are not cached: a later call with a larger layer
+    /// cap may succeed.
+    pub fn decompose_cached(
+        &self,
+        target: &Mat4,
+        tag: u8,
+        cache: &dyn SynthCache,
+    ) -> Result<Synthesized2Q, SynthesisFailed> {
+        let (key, fp) = self.synth_key(target, tag);
+        if let Some(hit) = cache.lookup(&key, fp) {
+            return Ok(hit);
+        }
+        let fresh = self.decompose(target)?;
+        cache.store(key, fp, &fresh);
+        Ok(fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    /// Minimal conformant cache for exercising the trait contract.
+    #[derive(Default)]
+    struct MapCache {
+        map: Mutex<HashMap<SynthKey, (u64, Synthesized2Q)>>,
+        hits: std::sync::atomic::AtomicUsize,
+    }
+
+    impl SynthCache for MapCache {
+        fn lookup(&self, key: &SynthKey, target_fp: u64) -> Option<Synthesized2Q> {
+            let map = self.map.lock().unwrap();
+            match map.get(key) {
+                Some((fp, v)) if *fp == target_fp => {
+                    self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    Some(v.clone())
+                }
+                _ => None,
+            }
+        }
+
+        fn store(&self, key: SynthKey, target_fp: u64, value: &Synthesized2Q) {
+            self.map
+                .lock()
+                .unwrap()
+                .insert(key, (target_fp, value.clone()));
+        }
+    }
+
+    fn bits(s: &Synthesized2Q) -> Vec<u64> {
+        let mut out = vec![s.layers as u64];
+        for (u, v) in &s.locals {
+            for m in [u, v] {
+                for r in 0..2 {
+                    for c in 0..2 {
+                        out.push(m.at(r, c).re.to_bits());
+                        out.push(m.at(r, c).im.to_bits());
+                    }
+                }
+            }
+        }
+        out.push(s.error.to_bits());
+        out.push(s.phase.to_bits());
+        out.push(s.trace_overlap.to_bits());
+        out
+    }
+
+    #[test]
+    fn cached_result_is_bit_identical_to_uncached() {
+        let dec = Decomposer::new(Mat4::sqrt_iswap());
+        let cache = MapCache::default();
+        let uncached = dec.decompose(&Mat4::cnot()).unwrap();
+        let first = dec.decompose_cached(&Mat4::cnot(), 0, &cache).unwrap();
+        let second = dec.decompose_cached(&Mat4::cnot(), 0, &cache).unwrap();
+        assert_eq!(bits(&uncached), bits(&first), "miss path differs");
+        assert_eq!(bits(&uncached), bits(&second), "hit path differs");
+        assert_eq!(cache.hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn locally_equivalent_targets_do_not_collide() {
+        use nsb_math::haar_su2;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(99);
+        let dec = Decomposer::new(Mat4::b_gate());
+        let cache = MapCache::default();
+        let a = Mat4::cnot();
+        // Same Cartan class as CNOT, different matrix.
+        let b = Mat4::kron(&haar_su2(&mut rng), &haar_su2(&mut rng)) * Mat4::cnot();
+        let (ka, fa) = dec.synth_key(&a, 0);
+        let (kb, fb) = dec.synth_key(&b, 0);
+        assert_eq!(ka, kb, "locally equivalent targets share a key");
+        assert_ne!(fa, fb, "but fingerprints must differ");
+        let sa = dec.decompose_cached(&a, 0, &cache).unwrap();
+        let sb = dec.decompose_cached(&b, 0, &cache).unwrap();
+        // The colliding entry must NOT be served for the other target.
+        assert_eq!(cache.hits.load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert!(sa.error < 1e-7 && sb.error < 1e-7);
+        let ra = sa.unitary_with_phase(&vec![Mat4::b_gate(); sa.layers]);
+        let rb = sb.unitary_with_phase(&vec![Mat4::b_gate(); sb.layers]);
+        assert!(ra.approx_eq(&a, 1e-5));
+        assert!(rb.approx_eq(&b, 1e-5));
+    }
+
+    #[test]
+    fn tags_separate_namespaces() {
+        let dec = Decomposer::new(Mat4::sqrt_iswap());
+        let (k0, _) = dec.synth_key(&Mat4::cnot(), 0);
+        let (k1, _) = dec.synth_key(&Mat4::cnot(), 1);
+        assert_ne!(k0, k1);
+    }
+
+    #[test]
+    fn distinct_angles_get_distinct_keys() {
+        let dec = Decomposer::new(Mat4::sqrt_iswap());
+        let (a, _) = dec.synth_key(&Mat4::cphase(0.5), 0);
+        let (b, _) = dec.synth_key(&Mat4::cphase(0.5 + 1e-4), 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn no_cache_always_misses() {
+        let dec = Decomposer::new(Mat4::sqrt_iswap());
+        let s = dec.decompose_cached(&Mat4::swap(), 0, &NoCache).unwrap();
+        assert_eq!(s.layers, 3);
+    }
+}

@@ -10,9 +10,7 @@
 use crate::ansatz::Synthesized2Q;
 use crate::optimizer::{optimize_with_restarts, OptimizerConfig};
 use nsb_math::Mat4;
-use nsb_weyl::{
-    can_cnot_in_2, kak_vector, min_layers_for_swap, WeylCoord,
-};
+use nsb_weyl::{can_cnot_in_2, kak_vector, min_layers_for_swap, WeylCoord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -140,7 +138,11 @@ impl Decomposer {
             };
         }
         if t.class_eq(WeylCoord::CNOT, 1e-9) {
-            return if can_cnot_in_2(self.basis_coord) { 2 } else { 3 };
+            return if can_cnot_in_2(self.basis_coord) {
+                2
+            } else {
+                3
+            };
         }
         // Generic non-local target needs at least 2 layers when it is not
         // the basis class itself.
@@ -333,8 +335,7 @@ mod tests {
     fn mirror_pair_synthesizes_swap_in_two_layers() {
         // CNOT and iSWAP are mirror partners (Appendix B).
         let cfg = DecomposerConfig::default();
-        let s =
-            decompose_with_bases(&Mat4::swap(), &[Mat4::cnot(), Mat4::iswap()], &cfg).unwrap();
+        let s = decompose_with_bases(&Mat4::swap(), &[Mat4::cnot(), Mat4::iswap()], &cfg).unwrap();
         assert!(s.error < 1e-7, "error {}", s.error);
     }
 
@@ -344,8 +345,8 @@ mod tests {
             restarts: 6,
             ..DecomposerConfig::default()
         };
-        let err = decompose_with_bases(&Mat4::swap(), &[Mat4::cnot(), Mat4::cnot()], &cfg)
-            .unwrap_err();
+        let err =
+            decompose_with_bases(&Mat4::swap(), &[Mat4::cnot(), Mat4::cnot()], &cfg).unwrap_err();
         assert!(err.best_error > 1e-4);
     }
 

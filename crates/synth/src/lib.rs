@@ -24,12 +24,14 @@
 #![warn(missing_docs)]
 
 mod ansatz;
+mod cache;
 mod decomposer;
 mod kak_full;
 mod optimizer;
 mod oracle;
 
 pub use ansatz::{build_ansatz, Synthesized2Q};
+pub use cache::{mat4_fingerprint, quantize_coord, NoCache, SynthCache, SynthKey};
 pub use decomposer::{decompose_with_bases, Decomposer, DecomposerConfig, SynthesisFailed};
 pub use kak_full::{kak_decompose, KakDecomposition};
 pub use optimizer::{optimize_locals, optimize_with_restarts, OptimizerConfig, RunResult};

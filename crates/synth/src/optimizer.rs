@@ -24,7 +24,9 @@ pub struct OptimizerConfig {
     /// Improvement threshold counting as "no progress".
     pub stall_tol: f64,
     /// Stop as converged once `4 - Re tr(T^dag W)` drops below this
-    /// residual (default corresponds to ~1e-10 average-fidelity error).
+    /// residual. The default is tight enough that a converged result
+    /// reconstructs the target to `sqrt(2e-12) ~ 1.4e-6` in Frobenius
+    /// norm.
     pub target_residual: f64,
 }
 
@@ -34,7 +36,7 @@ impl Default for OptimizerConfig {
             max_sweeps: 2000,
             stall_sweeps: 8,
             stall_tol: 1e-15,
-            target_residual: 2.0e-10,
+            target_residual: 1.0e-12,
         }
     }
 }
@@ -100,7 +102,17 @@ pub fn optimize_locals(
         }
         if cur - prev < config.stall_tol {
             stalled += 1;
-            if stalled >= config.stall_sweeps {
+            // Near convergence (residual within ~1e-5 of the target) the
+            // alternating sweeps can creep in steps below `stall_tol` yet
+            // still close the gap; give those tails extra patience so the
+            // decision procedure does not misclassify a decomposable
+            // target on an unlucky start.
+            let patience = if 4.0 - cur < 1e-5 {
+                4 * config.stall_sweeps
+            } else {
+                config.stall_sweeps
+            };
+            if stalled >= patience {
                 prev = prev.max(cur);
                 break;
             }
@@ -152,7 +164,65 @@ pub fn optimize_with_restarts<R: Rng + ?Sized>(
             break;
         }
     }
-    best.expect("at least one restart ran")
+    let mut best = best.expect("at least one restart ran");
+    // Polish phase: coordinate ascent on the local pairs has spurious
+    // "ping-pong" fixed points a hair away from the optimum (each single
+    // update is exactly optimal yet the joint step is stuck), so a run
+    // can plateau at residual ~1e-7 on a decomposable target no matter
+    // how many fresh restarts are tried. Residual-scaled random kicks
+    // followed by re-optimization hop off the ridge; each round shrinks
+    // the residual by roughly an order of magnitude. Runs with a large
+    // residual are genuine rejections, not ridges, and are returned
+    // untouched so the decision procedure stays cheap.
+    let mut residual = 4.0 * (1.0 - best.overlap);
+    if residual < POLISH_THRESHOLD {
+        for _round in 0..POLISH_ROUNDS {
+            if residual <= config.target_residual {
+                break;
+            }
+            let mag = (3.0 * residual.sqrt()).clamp(1e-8, 3e-2);
+            for _trial in 0..POLISH_TRIALS {
+                let kicked: Vec<(Mat2, Mat2)> = best
+                    .locals
+                    .iter()
+                    .map(|(u, v)| (small_rotation(rng, mag) * *u, small_rotation(rng, mag) * *v))
+                    .collect();
+                let run = optimize_locals(target, bases, kicked, config);
+                if run.overlap > best.overlap {
+                    best = run;
+                }
+            }
+            let polished = 4.0 * (1.0 - best.overlap);
+            if polished >= residual {
+                break;
+            }
+            residual = polished;
+        }
+    }
+    best
+}
+
+/// Residual below which a non-converged run is treated as sitting on a
+/// ping-pong ridge worth polishing rather than as a genuine rejection.
+const POLISH_THRESHOLD: f64 = 1e-4;
+/// Kick-and-reoptimize rounds in the polish phase.
+const POLISH_ROUNDS: usize = 8;
+/// Random kicks tried per polish round.
+const POLISH_TRIALS: usize = 4;
+
+/// A random unitary within distance ~`mag` of the identity: a Haar
+/// rotation blended into the identity and projected back onto U(2).
+fn small_rotation<R: Rng + ?Sized>(rng: &mut R, mag: f64) -> Mat2 {
+    let h = haar_su2(rng);
+    let id = Mat2::identity();
+    let mut m = Mat2::zero();
+    for r in 0..2 {
+        for c in 0..2 {
+            m[(r, c)] =
+                id.at(r, c) * Complex64::real(1.0 - mag) + h.at(r, c) * Complex64::real(mag);
+        }
+    }
+    max_trace_unitary(&m.adjoint())
 }
 
 /// `Re tr(T^dag W)` — the raw objective maximized by the sweeps. At

@@ -94,8 +94,16 @@ mod tests {
                 "cnot2 oracle at {coord}"
             );
             // And both must agree with the analytic tetrahedra.
-            assert_eq!(can_swap_in_3(coord), expect_swap3, "region swap3 at {coord}");
-            assert_eq!(can_cnot_in_2(coord), expect_cnot2, "region cnot2 at {coord}");
+            assert_eq!(
+                can_swap_in_3(coord),
+                expect_swap3,
+                "region swap3 at {coord}"
+            );
+            assert_eq!(
+                can_cnot_in_2(coord),
+                expect_cnot2,
+                "region cnot2 at {coord}"
+            );
         }
     }
 
@@ -130,9 +138,10 @@ mod tests {
     fn near_swap3_boundary(p: WeylCoord, margin: f64) -> bool {
         nsb_weyl::swap3_complement().iter().any(|t| {
             let inside = t.excludes(p);
-            let inflated = t.tet.barycentric(p).map_or(false, |w| {
-                w.iter().all(|&v| v >= -margin)
-            });
+            let inflated = t
+                .tet
+                .barycentric(p)
+                .is_some_and(|w| w.iter().all(|&v| v >= -margin));
             inside != inflated
         })
     }
@@ -140,9 +149,10 @@ mod tests {
     fn near_cnot2_boundary(p: WeylCoord, margin: f64) -> bool {
         nsb_weyl::cnot2_complement().iter().any(|t| {
             let inside = t.excludes(p);
-            let inflated = t.tet.barycentric(p).map_or(false, |w| {
-                w.iter().all(|&v| v >= -margin)
-            });
+            let inflated = t
+                .tet
+                .barycentric(p)
+                .is_some_and(|w| w.iter().all(|&v| v >= -margin));
             inside != inflated
         })
     }

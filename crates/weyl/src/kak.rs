@@ -17,12 +17,7 @@ pub fn magic_basis() -> Mat4 {
     let r = Complex64::real(s);
     let i = Complex64::imag(s);
     let o = Complex64::ZERO;
-    Mat4::from_rows([
-        [r, o, o, i],
-        [o, i, r, o],
-        [o, i, -r, o],
-        [r, o, o, -i],
-    ])
+    Mat4::from_rows([[r, o, o, i], [o, i, r, o], [o, i, -r, o], [r, o, o, -i]])
 }
 
 /// Sign patterns of XX, YY, ZZ on the magic-basis diagonal: row `j` is
@@ -189,6 +184,9 @@ fn coords_from_eigenphases(phis: &[f64]) -> Option<WeylCoord> {
 /// `S`; a generic real combination `R + mu S` shares an orthogonal
 /// eigenbasis, which also diagonalizes `m`.
 fn symmetric_unitary_eigenvalues(m: &Mat4) -> [Complex64; 4] {
+    // Arbitrary generic probe values; 0.318309 happens to approximate
+    // 1/pi, which is irrelevant here but trips clippy::approx_constant.
+    #[allow(clippy::approx_constant)]
     let mus = [0.739085, 1.246979, 0.318309, 2.071723, 0.577215];
     for &mu in &mus {
         let mut k = DMat::zeros(4, 4);
@@ -250,11 +248,11 @@ mod tests {
         for (p, expected) in pairs {
             let pp = Mat4::kron(&p, &p);
             let d = b.adjoint() * pp * b;
-            for r in 0..4 {
+            for (r, &want) in expected.iter().enumerate() {
                 for c in 0..4 {
                     if r == c {
                         assert!(
-                            (d.at(r, c) - Complex64::real(expected[r])).abs() < 1e-12,
+                            (d.at(r, c) - Complex64::real(want)).abs() < 1e-12,
                             "diag mismatch {r}"
                         );
                     } else {
@@ -352,6 +350,10 @@ mod tests {
     fn canonical_gate_matches_coordinates() {
         let p = WeylCoord::new(0.31, 0.17, 0.05);
         let u = canonical_gate(p);
-        assert!(locally_equivalent(&u, &canonical_gate(p.canonicalize()), 1e-8));
+        assert!(locally_equivalent(
+            &u,
+            &canonical_gate(p.canonicalize()),
+            1e-8
+        ));
     }
 }

@@ -340,9 +340,9 @@ pub fn first_crossing(
     criterion: SelectionCriterion,
     min_entangling_power: f64,
 ) -> Option<usize> {
-    coords.iter().position(|&c| {
-        criterion.accepts(c) && entangling_power(c) >= min_entangling_power
-    })
+    coords
+        .iter()
+        .position(|&c| criterion.accepts(c) && entangling_power(c) >= min_entangling_power)
 }
 
 #[cfg(test)]
@@ -357,9 +357,17 @@ mod tests {
         assert!((chamber - 1.0 / 24.0).abs() < 1e-12);
         let swap3: f64 = swap3_complement().iter().map(|t| t.tet.volume()).sum();
         // 2/288 + 2/324 = 0.0131173...; fraction 31.48%.
-        assert!(((swap3 / chamber) - 0.31481).abs() < 1e-4, "{}", swap3 / chamber);
+        assert!(
+            ((swap3 / chamber) - 0.31481).abs() < 1e-4,
+            "{}",
+            swap3 / chamber
+        );
         let cnot2: f64 = cnot2_complement().iter().map(|t| t.tet.volume()).sum();
-        assert!(((cnot2 / chamber) - 0.25).abs() < 1e-9, "{}", cnot2 / chamber);
+        assert!(
+            ((cnot2 / chamber) - 0.25).abs() < 1e-9,
+            "{}",
+            cnot2 / chamber
+        );
     }
 
     #[test]
@@ -398,7 +406,11 @@ mod tests {
     fn mirror_pair_synthesis() {
         assert!(can_swap_in_2_pair(WeylCoord::CNOT, WeylCoord::ISWAP, 1e-9));
         assert!(!can_swap_in_2_pair(WeylCoord::CNOT, WeylCoord::CNOT, 1e-6));
-        assert!(can_swap_in_2_pair(WeylCoord::B_GATE, WeylCoord::B_GATE, 1e-9));
+        assert!(can_swap_in_2_pair(
+            WeylCoord::B_GATE,
+            WeylCoord::B_GATE,
+            1e-9
+        ));
     }
 
     #[test]

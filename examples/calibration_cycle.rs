@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example calibration_cycle`
 
-use nsb_core::prelude::*;
 use nsb_core::device::{initial_tuneup, retune, GridTopology};
+use nsb_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -44,7 +44,10 @@ fn main() {
             compiled.fidelity,
             overlap
         );
-        assert!(overlap > 0.999, "compiled circuit must match the logical one");
+        assert!(
+            overlap > 0.999,
+            "compiled circuit must match the logical one"
+        );
     }
     println!("\nall three compilations verified against the logical circuit.");
 }

@@ -1,0 +1,104 @@
+//! Batch-compilation throughput: the concurrent service (worker pool +
+//! shared synthesis cache) versus one-at-a-time serial compilation of
+//! the same jobs.
+//!
+//! Run with: `cargo run --release --example service_throughput`
+//! (pass `--full` for the 10x10 device and the full Table II suite).
+
+use nsb_core::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (cols, rows) = if full { (10, 10) } else { (4, 3) };
+    println!("calibrating a {cols}x{rows} device...");
+    let device = Device::build(cols, rows, DeviceConfig::fast_test()).expect("device");
+    let capacity = device.topology().n_qubits();
+
+    // The Table II benchmarks that fit the device, two rounds each under
+    // two strategies — repetition across jobs is exactly what the shared
+    // cache exploits.
+    let suite: Vec<_> = table2_suite(7)
+        .into_iter()
+        .filter(|b| b.circuit.n_qubits() <= capacity)
+        .collect();
+    let mut jobs = Vec::new();
+    for _round in 0..2 {
+        for b in &suite {
+            for strategy in [BasisStrategy::Baseline, BasisStrategy::Criterion2] {
+                jobs.push((b.name.clone(), strategy, b.circuit.clone()));
+            }
+        }
+    }
+    println!(
+        "{} jobs ({} benchmarks x 2 strategies x 2 rounds)\n",
+        jobs.len(),
+        suite.len()
+    );
+
+    // Serial baseline: a fresh transpiler per job, no shared state.
+    let started = Instant::now();
+    let mut serial_fidelities = Vec::new();
+    for (_, strategy, circuit) in &jobs {
+        let compiled = Transpiler::new(&device, *strategy)
+            .compile(circuit)
+            .expect("serial compile");
+        serial_fidelities.push(compiled.fidelity);
+    }
+    let serial = started.elapsed();
+    println!(
+        "serial:  {} jobs in {:.2} s",
+        jobs.len(),
+        serial.as_secs_f64()
+    );
+
+    // Concurrent service: >= 2 workers sharing one synthesis cache.
+    let workers = ServiceConfig::default().workers.max(2);
+    let service = CompileService::new(
+        device,
+        ServiceConfig {
+            workers,
+            queue_capacity: jobs.len().max(1),
+            ..ServiceConfig::default()
+        },
+    );
+    let started = Instant::now();
+    let handles: Vec<_> = jobs
+        .iter()
+        .map(|(_, strategy, circuit)| {
+            service
+                .submit(JobSpec::new(circuit.clone(), *strategy))
+                .expect("submit")
+        })
+        .collect();
+    let service_fidelities: Vec<f64> = handles
+        .into_iter()
+        .map(|h| h.wait().expect("service compile").fidelity)
+        .collect();
+    let concurrent = started.elapsed();
+    println!(
+        "service: {} jobs in {:.2} s on {workers} workers",
+        jobs.len(),
+        concurrent.as_secs_f64()
+    );
+    println!(
+        "speedup: {:.2}x\n",
+        serial.as_secs_f64() / concurrent.as_secs_f64()
+    );
+
+    // The cache serves bit-identical decompositions, so results agree
+    // exactly with the serial run.
+    let identical = serial_fidelities
+        .iter()
+        .zip(&service_fidelities)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    println!("fidelities bit-identical to serial: {identical}");
+
+    println!("\n{}", service.metrics().report());
+    let stats = service.cache().stats();
+    assert!(
+        stats.hits > 0,
+        "expected shared-cache hits across repeated jobs"
+    );
+    service.shutdown();
+}

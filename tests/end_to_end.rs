@@ -50,8 +50,8 @@ fn compiled_benchmarks_are_functionally_correct() {
     // nonstandard decompositions.
     let device = device();
     for bench in small_suite(11) {
-        let compiled = compile_on(device, BasisStrategy::Criterion2, &bench.circuit)
-            .expect("compile");
+        let compiled =
+            compile_on(device, BasisStrategy::Criterion2, &bench.circuit).expect("compile");
         let overlap = verify_compiled(&bench.circuit, &compiled);
         assert!(
             overlap > 0.999,

@@ -1,0 +1,212 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses: the [`Strategy`] trait with `prop_map`, numeric range and tuple
+//! strategies, [`ProptestConfig`], and the [`proptest!`] /
+//! [`prop_assert!`] macros.
+//!
+//! Shrinking is not implemented: each property is simply evaluated on
+//! `cases` deterministic pseudo-random inputs (seeded from the test
+//! name), which preserves the workspace's regression value without the
+//! real crate's machinery.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::Range;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases evaluated per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG driving input generation.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministically seeds the generator from a test name.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name keeps inputs stable across runs.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end - self.start) as u64;
+                assert!(span > 0, "empty range strategy");
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.gen::<f64>()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.gen::<f32>()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Everything a property test file needs in one import.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+/// Asserts a property holds, with optional format arguments.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts two values are equal, with optional format arguments.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` evaluating the body on `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -1.5f64..1.5, k in 0u64..10) {
+            prop_assert!((-1.5..1.5).contains(&x));
+            prop_assert!(k < 10, "k = {k}");
+        }
+
+        #[test]
+        fn tuples_and_map_compose(p in (0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0.0..2.0).contains(&p));
+        }
+    }
+}
