@@ -48,7 +48,8 @@ fn bench_batch_compilation(c: &mut Criterion) {
                     queue_capacity: jobs.len().max(1),
                     ..ServiceConfig::default()
                 },
-            );
+            )
+            .expect("start service");
             let handles: Vec<_> = jobs
                 .iter()
                 .map(|(strategy, circuit)| {

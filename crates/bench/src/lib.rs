@@ -9,3 +9,5 @@
 //!
 //! and the benches `synthesis` (including the Section VII depth-oracle
 //! ablation), `weyl_geometry`, `routing`, `trajectory`.
+
+#![forbid(unsafe_code)]

@@ -18,6 +18,7 @@
 //! assert!((s.probability(0b111) - 0.5).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod circuit;

@@ -19,6 +19,7 @@
 //! println!("duration {:.1} ns, fidelity {:.3}", compiled.schedule.duration, compiled.fidelity);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod lower;
@@ -27,8 +28,15 @@ mod sabre;
 mod schedule;
 
 pub use lower::{
-    merge_locals, mode_tag, swap_conjugate, CacheKey, LoweredOp, Lowerer, LoweringMode,
+    merge_locals, mode_tag, swap_conjugate, CacheKey, LowerError, LoweredOp, Lowerer, LoweringMode,
 };
-pub use pipeline::{default_mode, verify_compiled, CompileError, CompiledCircuit, Transpiler};
-pub use sabre::{sabre_route, Layout, RoutedCircuit, SabreConfig};
+pub use pipeline::{
+    default_mode, to_schedule_facts, to_verify_ops, verify_compiled, CompileError, CompiledCircuit,
+    Transpiler,
+};
+pub use sabre::{sabre_route, Layout, RouteError, RoutedCircuit, SabreConfig};
 pub use schedule::{schedule, Schedule};
+
+// Re-export the verification vocabulary so downstream crates can configure
+// the pipeline without depending on nsb-verify directly.
+pub use nsb_verify::{VerifyConfig, VerifyLevel, VerifyReport};

@@ -6,7 +6,52 @@ use nsb_device::{BasisStrategy, Device, SelectedBasis};
 use nsb_math::{Mat2, Mat4};
 use nsb_synth::{SynthCache, SynthesisFailed, Synthesized2Q};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
+
+/// Lowering failure.
+#[derive(Clone, Debug)]
+pub enum LowerError {
+    /// A numerical decomposition did not converge.
+    Synthesis(SynthesisFailed),
+    /// A two-qubit gate addressed a pair of qubits with no device edge —
+    /// the input circuit was not (correctly) routed.
+    NotCoupled {
+        /// First operand.
+        q0: usize,
+        /// Second operand.
+        q1: usize,
+    },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::Synthesis(e) => write!(f, "{e}"),
+            LowerError::NotCoupled { q0, q1 } => {
+                write!(
+                    f,
+                    "two-qubit gate on uncoupled qubits {q0},{q1} (circuit not routed?)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LowerError::Synthesis(e) => Some(e),
+            LowerError::NotCoupled { .. } => None,
+        }
+    }
+}
+
+impl From<SynthesisFailed> for LowerError {
+    fn from(e: SynthesisFailed) -> Self {
+        LowerError::Synthesis(e)
+    }
+}
 
 /// One operation of the lowered (hardware-level) program.
 ///
@@ -100,9 +145,10 @@ impl<'d> Lowerer<'d> {
     ///
     /// # Errors
     ///
-    /// Returns [`SynthesisFailed`] when a direct decomposition does not
-    /// converge.
-    pub fn lower(&mut self, routed: &Circuit) -> Result<Vec<LoweredOp>, SynthesisFailed> {
+    /// Returns [`LowerError::Synthesis`] when a direct decomposition does
+    /// not converge, [`LowerError::NotCoupled`] when a two-qubit gate is
+    /// not on a device edge.
+    pub fn lower(&mut self, routed: &Circuit) -> Result<Vec<LoweredOp>, LowerError> {
         let mut out = Vec::with_capacity(routed.len() * 4);
         for op in routed.ops() {
             match op.qubits.len() {
@@ -122,12 +168,12 @@ impl<'d> Lowerer<'d> {
         q0: usize,
         q1: usize,
         out: &mut Vec<LoweredOp>,
-    ) -> Result<(), SynthesisFailed> {
+    ) -> Result<(), LowerError> {
         let edge_idx = self
             .device
             .topology()
             .edge_index(q0, q1)
-            .expect("two-qubit gate not on a device edge");
+            .ok_or(LowerError::NotCoupled { q0, q1 })?;
         let cal = &self.device.edges()[edge_idx];
         let basis = cal.basis(self.strategy);
         let (g0, g1) = cal.gate_order;

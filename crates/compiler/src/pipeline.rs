@@ -2,12 +2,15 @@
 //! merging, scheduling, fidelity evaluation — plus statevector
 //! verification for small devices.
 
-use crate::lower::{LoweredOp, Lowerer, LoweringMode};
-use crate::sabre::{sabre_route, Layout, SabreConfig};
+use crate::lower::{LowerError, LoweredOp, Lowerer, LoweringMode};
+use crate::sabre::{sabre_route, Layout, RouteError, SabreConfig};
 use crate::schedule::{schedule, Schedule};
 use nsb_circuit::{Circuit, Gate, StateVector};
 use nsb_device::{BasisStrategy, Device};
-use nsb_synth::{SynthCache, SynthesisFailed};
+use nsb_synth::SynthCache;
+use nsb_verify::{
+    ScheduleFacts, VerifierSuite, VerifyConfig, VerifyLevel, VerifyOp, VerifyReport, VerifyTarget,
+};
 use std::fmt;
 use std::sync::Arc;
 
@@ -49,20 +52,94 @@ impl CompiledCircuit {
     }
 }
 
-/// Compilation failure: a numerical synthesis did not converge.
+/// Compilation failure.
 #[derive(Clone, Debug)]
-pub struct CompileError {
-    /// The underlying synthesis failure.
-    pub synthesis: SynthesisFailed,
+pub enum CompileError {
+    /// Routing stalled (degenerate topology).
+    Route(RouteError),
+    /// Lowering failed (synthesis non-convergence or an unrouted gate).
+    Lower(LowerError),
+    /// An inter-pass verification found the compiled program invalid.
+    Verification {
+        /// The pipeline stage after which the suite ran.
+        stage: &'static str,
+        /// The full verifier report.
+        report: VerifyReport,
+    },
 }
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "compilation failed: {}", self.synthesis)
+        match self {
+            CompileError::Route(e) => write!(f, "compilation failed: {e}"),
+            CompileError::Lower(e) => write!(f, "compilation failed: {e}"),
+            CompileError::Verification { stage, report } => {
+                write!(f, "verification failed after `{stage}`: {report}")
+            }
+        }
     }
 }
 
-impl std::error::Error for CompileError {}
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Route(e) => Some(e),
+            CompileError::Lower(e) => Some(e),
+            CompileError::Verification { .. } => None,
+        }
+    }
+}
+
+impl From<RouteError> for CompileError {
+    fn from(e: RouteError) -> Self {
+        CompileError::Route(e)
+    }
+}
+
+impl From<LowerError> for CompileError {
+    fn from(e: LowerError) -> Self {
+        CompileError::Lower(e)
+    }
+}
+
+/// Converts lowered operations into the verifier's IR view, attaching the
+/// claimed Cartan coordinate (the calibrated basis class of the edge) to
+/// every entangler so the verifier can cross-check it.
+pub fn to_verify_ops(ops: &[LoweredOp], device: &Device, strategy: BasisStrategy) -> Vec<VerifyOp> {
+    ops.iter()
+        .map(|op| match op {
+            LoweredOp::Local { qubit, unitary } => VerifyOp::Local {
+                qubit: *qubit,
+                unitary: *unitary,
+            },
+            LoweredOp::Entangler {
+                qubits,
+                duration,
+                gate,
+            } => VerifyOp::TwoQubit {
+                qubits: *qubits,
+                duration: *duration,
+                unitary: *gate,
+                coord: device
+                    .topology()
+                    .edge_index(qubits.0, qubits.1)
+                    .map(|e| device.edges()[e].basis(strategy).coord),
+            },
+        })
+        .collect()
+}
+
+/// Exposes a computed [`Schedule`] as claimed facts for the verifier's
+/// independent recomputation to validate.
+pub fn to_schedule_facts(sched: &Schedule) -> ScheduleFacts {
+    ScheduleFacts {
+        duration: sched.duration,
+        windows: sched.windows.clone(),
+        busy: sched.busy.clone(),
+        entangler_count: sched.entangler_count,
+        local_count: sched.local_count,
+    }
+}
 
 /// The paper's default lowering mode for a strategy: the baseline
 /// decomposes targets directly (standing in for the analytic sqrt(iSWAP)
@@ -82,10 +159,14 @@ pub struct Transpiler<'d> {
     mode: LoweringMode,
     sabre: SabreConfig,
     shared: Option<Arc<dyn SynthCache>>,
+    verify: VerifyLevel,
+    verify_config: VerifyConfig,
 }
 
 impl<'d> Transpiler<'d> {
     /// Creates a transpiler with the mode defaults of [`default_mode`].
+    /// The verification level starts at [`VerifyLevel::from_env`] (the
+    /// `NSB_VERIFY` variable, or debug-only when unset).
     pub fn new(device: &'d Device, strategy: BasisStrategy) -> Self {
         Transpiler {
             device,
@@ -93,6 +174,8 @@ impl<'d> Transpiler<'d> {
             mode: default_mode(strategy),
             sabre: SabreConfig::default(),
             shared: None,
+            verify: VerifyLevel::from_env(),
+            verify_config: VerifyConfig::default(),
         }
     }
 
@@ -116,22 +199,69 @@ impl<'d> Transpiler<'d> {
         self
     }
 
+    /// Sets the inter-pass verification level.
+    ///
+    /// The default, [`VerifyLevel::Debug`], runs the verifier suites only in
+    /// debug builds (a compiled-in debug assertion); [`VerifyLevel::Full`]
+    /// always runs them and [`VerifyLevel::Off`] disables them entirely.
+    pub fn with_verification(mut self, level: VerifyLevel) -> Self {
+        self.verify = level;
+        self
+    }
+
+    /// Overrides tolerances used by inter-pass verification.
+    pub fn with_verify_config(mut self, config: VerifyConfig) -> Self {
+        self.verify_config = config;
+        self
+    }
+
     /// Compiles a logical circuit to the device.
     ///
     /// # Errors
     ///
-    /// Returns [`CompileError`] when a direct decomposition fails.
+    /// Returns [`CompileError`] when routing stalls, a direct decomposition
+    /// fails, or (with verification enabled) an inter-pass check rejects the
+    /// compiled program.
     pub fn compile(&self, circuit: &Circuit) -> Result<CompiledCircuit, CompileError> {
-        let routed = sabre_route(circuit, self.device.topology(), &self.sabre);
+        let routed = sabre_route(circuit, self.device.topology(), &self.sabre)?;
+        if self.verify.is_enabled() {
+            // Post-routing checkpoint: every remaining two-qubit gate must
+            // sit on a coupled pair; lowering relies on this.
+            let suite = VerifierSuite::structural().with_config(self.verify_config);
+            let target = VerifyTarget::new(self.device, self.strategy, Vec::new())
+                .with_source(&routed.circuit);
+            let report = suite.run(&target);
+            if !report.is_clean() {
+                return Err(CompileError::Verification {
+                    stage: "route",
+                    report,
+                });
+            }
+        }
         let mut lowerer = Lowerer::new(self.device, self.strategy, self.mode);
         if let Some(shared) = &self.shared {
             lowerer = lowerer.with_shared_cache(shared.clone());
         }
-        let ops = lowerer
-            .lower(&routed.circuit)
-            .map_err(|synthesis| CompileError { synthesis })?;
+        let ops = lowerer.lower(&routed.circuit)?;
         let n_qubits = self.device.topology().n_qubits();
         let sched = schedule(&ops, n_qubits, self.device.config().t_1q);
+        if self.verify.is_enabled() {
+            // Post-lowering checkpoint: basis legality, Weyl canonicality,
+            // schedule consistency and (for small devices) full unitary
+            // equivalence against the routed source.
+            let suite = VerifierSuite::standard().with_config(self.verify_config);
+            let vops = to_verify_ops(&ops, self.device, self.strategy);
+            let target = VerifyTarget::new(self.device, self.strategy, vops)
+                .with_source(&routed.circuit)
+                .with_schedule(to_schedule_facts(&sched));
+            let report = suite.run(&target);
+            if !report.is_clean() {
+                return Err(CompileError::Verification {
+                    stage: "lower",
+                    report,
+                });
+            }
+        }
         let fidelity = sched.coherence_fidelity(self.device.config().coherence_time);
         Ok(CompiledCircuit {
             ops,

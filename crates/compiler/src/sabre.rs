@@ -5,6 +5,31 @@
 
 use nsb_circuit::{Circuit, Gate, Operation};
 use nsb_device::GridTopology;
+use std::fmt;
+
+/// Routing failure: the swap search could not make progress.
+#[derive(Clone, Debug)]
+pub enum RouteError {
+    /// A blocked front gate produced no swap candidates, which can only
+    /// happen on a degenerate topology (isolated qubits).
+    NoSwapCandidates {
+        /// Logical qubits of the first blocked gate.
+        qubits: (usize, usize),
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::NoSwapCandidates { qubits: (a, b) } => write!(
+                f,
+                "routing stalled: no swap candidates for blocked gate on logical qubits {a},{b}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// A logical-to-physical qubit assignment.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -85,11 +110,16 @@ impl Default for SabreConfig {
 /// # Panics
 ///
 /// Panics when the circuit needs more qubits than the topology provides.
+///
+/// # Errors
+///
+/// Returns [`RouteError`] when the swap search stalls, which cannot
+/// happen on a connected grid topology.
 pub fn sabre_route(
     circuit: &Circuit,
     topology: &GridTopology,
     config: &SabreConfig,
-) -> RoutedCircuit {
+) -> Result<RoutedCircuit, RouteError> {
     assert!(
         circuit.n_qubits() <= topology.n_qubits(),
         "circuit does not fit on the device"
@@ -99,8 +129,8 @@ pub fn sabre_route(
     let mut layout = compact_initial_layout(circuit.n_qubits(), topology);
     let reversed = reversed_circuit(circuit);
     for _ in 0..config.layout_iterations {
-        let fwd = route_once(circuit, topology, &dist, layout.clone(), config);
-        let bwd = route_once(&reversed, topology, &dist, fwd.final_layout, config);
+        let fwd = route_once(circuit, topology, &dist, layout.clone(), config)?;
+        let bwd = route_once(&reversed, topology, &dist, fwd.final_layout, config)?;
         layout = bwd.final_layout;
     }
     route_once(circuit, topology, &dist, layout, config)
@@ -120,7 +150,7 @@ fn compact_initial_layout(n_logical: usize, topology: &GridTopology) -> Layout {
         let (rb, cb) = topology.position(b);
         let da = (ra as f64 - cy).abs() + (ca as f64 - cx).abs();
         let db = (rb as f64 - cy).abs() + (cb as f64 - cx).abs();
-        da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+        da.total_cmp(&db).then(a.cmp(&b))
     });
     Layout {
         logical_to_physical: order.into_iter().take(n_logical).collect(),
@@ -141,7 +171,7 @@ fn route_once(
     dist: &[Vec<usize>],
     mut layout: Layout,
     config: &SabreConfig,
-) -> RoutedCircuit {
+) -> Result<RoutedCircuit, RouteError> {
     let initial_layout = layout.clone();
     let ops = circuit.ops();
     let n_ops = ops.len();
@@ -242,7 +272,12 @@ fn route_once(
                 best = Some(((p1, p2), score));
             }
         }
-        let ((p1, p2), _) = best.expect("blocked front implies swap candidates");
+        let Some(((p1, p2), _)) = best else {
+            let op = &ops[front[0]];
+            return Err(RouteError::NoSwapCandidates {
+                qubits: (op.qubits[0], op.qubits[1]),
+            });
+        };
         out.push(Gate::Swap, &[p1, p2]);
         layout.swap_physical(p1, p2);
         swaps_inserted += 1;
@@ -255,12 +290,12 @@ fn route_once(
         }
     }
     debug_assert!(done.iter().all(|&d| d), "routing dropped gates");
-    RoutedCircuit {
+    Ok(RoutedCircuit {
         circuit: out,
         initial_layout,
         final_layout: layout,
         swaps_inserted,
-    }
+    })
 }
 
 /// The lookahead set: the next two-qubit gates reachable from the front
@@ -316,7 +351,7 @@ mod tests {
         let mut c = Circuit::new(2);
         c.push(Gate::H, &[0]);
         c.push(Gate::Cx, &[0, 1]);
-        let r = sabre_route(&c, &topo, &SabreConfig::default());
+        let r = sabre_route(&c, &topo, &SabreConfig::default()).expect("route");
         assert_eq!(r.swaps_inserted, 0);
         routed_respects_topology(&r, &topo);
     }
@@ -330,7 +365,7 @@ mod tests {
         for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)] {
             c.push(Gate::Cx, &[a, b]);
         }
-        let r = sabre_route(&c, &topo, &SabreConfig::default());
+        let r = sabre_route(&c, &topo, &SabreConfig::default()).expect("route");
         routed_respects_topology(&r, &topo);
         assert!(r.swaps_inserted >= 1, "C5 on a line requires swaps");
     }
@@ -342,7 +377,7 @@ mod tests {
         let topo = GridTopology::new(5, 1);
         let mut c = Circuit::new(5);
         c.push(Gate::Cx, &[0, 4]);
-        let r = sabre_route(&c, &topo, &SabreConfig::default());
+        let r = sabre_route(&c, &topo, &SabreConfig::default()).expect("route");
         routed_respects_topology(&r, &topo);
         assert_eq!(r.swaps_inserted, 0);
     }
@@ -351,7 +386,7 @@ mod tests {
     fn qft_routes_on_grid() {
         let topo = GridTopology::new(4, 4);
         let c = generators::qft(10, true);
-        let r = sabre_route(&c, &topo, &SabreConfig::default());
+        let r = sabre_route(&c, &topo, &SabreConfig::default()).expect("route");
         routed_respects_topology(&r, &topo);
         // All original two-qubit gates present plus swaps.
         let original_2q = c.two_qubit_count();
@@ -362,7 +397,7 @@ mod tests {
     fn bv_routes_with_bounded_overhead() {
         let topo = GridTopology::new(5, 5);
         let c = generators::bv_all_ones(20);
-        let r = sabre_route(&c, &topo, &SabreConfig::default());
+        let r = sabre_route(&c, &topo, &SabreConfig::default()).expect("route");
         routed_respects_topology(&r, &topo);
         // 19 CX through one ancilla on a 5x5 grid: swap count stays modest.
         assert!(
@@ -377,7 +412,7 @@ mod tests {
     fn layout_is_injective() {
         let topo = GridTopology::new(4, 4);
         let c = generators::qft(12, false);
-        let r = sabre_route(&c, &topo, &SabreConfig::default());
+        let r = sabre_route(&c, &topo, &SabreConfig::default()).expect("route");
         let mut seen = vec![false; topo.n_qubits()];
         for &p in &r.initial_layout.logical_to_physical {
             assert!(!seen[p], "duplicate physical qubit {p}");

@@ -20,6 +20,9 @@
 //! * [`compiler`] — SABRE mapping and per-edge basis lowering.
 //! * [`service`] — concurrent compilation service with a shared
 //!   synthesis cache, deadlines and metrics.
+//! * [`verify`] — static verification of compiled programs: basis
+//!   legality, connectivity, Weyl canonicality, schedule sanity and
+//!   unitary equivalence.
 //! * [`experiments`] — Table I / Table II harness.
 //!
 //! ## Quickstart
@@ -45,7 +48,7 @@
 //! use nsb_core::prelude::*;
 //!
 //! let device = Device::build(3, 2, DeviceConfig::fast_test()).unwrap();
-//! let service = CompileService::new(device, ServiceConfig::default());
+//! let service = CompileService::new(device, ServiceConfig::default()).unwrap();
 //! let handles: Vec<_> = (3..=4)
 //!     .map(|n| {
 //!         let spec = JobSpec::new(generators::qft(n, true), BasisStrategy::Criterion2);
@@ -58,7 +61,8 @@
 //! println!("{}", service.metrics().report());
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use nsb_circuit as circuit;
 pub use nsb_compiler as compiler;
@@ -67,6 +71,7 @@ pub use nsb_math as math;
 pub use nsb_service as service;
 pub use nsb_sim as sim;
 pub use nsb_synth as synth;
+pub use nsb_verify as verify;
 pub use nsb_weyl as weyl;
 
 pub mod experiments;
@@ -88,6 +93,7 @@ pub mod prelude {
         CartanTrajectory, DriveParams, PreparedCell, TrajectoryConfig, UnitCellParams,
     };
     pub use nsb_synth::{Decomposer, DecomposerConfig, Synthesized2Q};
+    pub use nsb_verify::{VerifierSuite, VerifyLevel, VerifyReport, ViolationKind};
     pub use nsb_weyl::{
         can_cnot_in_2, can_swap_in_3, entangling_power, first_crossing, is_perfect_entangler,
         kak_vector, SelectionCriterion, WeylCoord,

@@ -15,6 +15,7 @@
 //! println!("mean basis gate: {:.2} ns", row.basis_duration);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod calibration;

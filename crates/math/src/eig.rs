@@ -141,7 +141,7 @@ pub fn eigh(a: &DMat) -> HermitianEig {
     // Collect and sort ascending.
     let mut idx: Vec<usize> = (0..n).collect();
     let vals: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
-    idx.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap());
+    idx.sort_by(|&a, &b| vals[a].total_cmp(&vals[b]));
     let mut values = Vec::with_capacity(n);
     let mut vectors = DMat::zeros(n, n);
     for (new_c, &old_c) in idx.iter().enumerate() {

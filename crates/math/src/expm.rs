@@ -88,6 +88,7 @@ fn pade13(a: &DMat) -> DMat {
     // expm = (V - U)^{-1} (V + U)
     let lhs = &v - &u;
     let rhs = &v + &u;
+    // lint: allow(no-expect) — Pade denominator of a scaled matrix is provably nonsingular
     lhs.solve(&rhs).expect("Pade denominator is nonsingular")
 }
 

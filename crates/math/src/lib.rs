@@ -25,6 +25,7 @@
 //! assert!(u.is_unitary(1e-12));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod complex;

@@ -7,7 +7,16 @@
 //! service needs (accepted jobs still run after `close`).
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Recovers the guard from a poisoned lock: the queue's invariants hold
+/// at every await point, so a panic elsewhere never leaves `Inner`
+/// half-updated and it is always safe to continue.
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Why a push was rejected.
 #[derive(Debug, PartialEq, Eq)]
@@ -55,7 +64,7 @@ impl<T> BoundedQueue<T> {
 
     /// Current number of queued items.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        relock(self.inner.lock()).items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -70,7 +79,7 @@ impl<T> BoundedQueue<T> {
     /// Returns the item back inside [`PushError::Full`] or
     /// [`PushError::Closed`].
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = relock(self.inner.lock());
         if inner.closed {
             return Err(PushError::Closed(item));
         }
@@ -86,7 +95,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until an item is available and returns it, or returns
     /// `None` once the queue is closed **and** fully drained.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = relock(self.inner.lock());
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -94,14 +103,14 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).unwrap();
+            inner = relock(self.not_empty.wait(inner));
         }
     }
 
     /// Closes the queue: pushes start failing immediately, pops keep
     /// draining what was already accepted, then return `None`.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        relock(self.inner.lock()).closed = true;
         self.not_empty.notify_all();
     }
 }

@@ -14,7 +14,15 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Recovers the guard from a poisoned shard lock: shard updates never
+/// panic mid-mutation (plain map/counter writes), so the data is intact.
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Hit/miss totals of a [`SharedSynthCache`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,11 +88,7 @@ impl SharedSynthCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| s.lock().unwrap().map.len())
-                .sum(),
+            entries: self.shards.iter().map(|s| relock(s.lock()).map.len()).sum(),
         }
     }
 
@@ -109,7 +113,7 @@ impl SharedSynthCache {
 
 impl SynthCache for SharedSynthCache {
     fn lookup(&self, key: &SynthKey, target_fp: u64) -> Option<Synthesized2Q> {
-        let mut shard = self.shard_of(key).lock().unwrap();
+        let mut shard = relock(self.shard_of(key).lock());
         shard.clock += 1;
         let clock = shard.clock;
         let found = match shard.map.get_mut(key) {
@@ -125,7 +129,7 @@ impl SynthCache for SharedSynthCache {
     }
 
     fn store(&self, key: SynthKey, target_fp: u64, value: &Synthesized2Q) {
-        let mut shard = self.shard_of(&key).lock().unwrap();
+        let mut shard = relock(self.shard_of(&key).lock());
         shard.clock += 1;
         let clock = shard.clock;
         shard.map.insert(
@@ -140,12 +144,14 @@ impl SynthCache for SharedSynthCache {
         // linear scan is fine: shards are small and eviction only runs
         // on insertions past capacity.
         while shard.map.len() > self.capacity_per_shard {
-            let oldest = shard
+            let Some(oldest) = shard
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| *k)
-                .expect("non-empty shard");
+            else {
+                break; // unreachable: len > capacity >= 1
+            };
             shard.map.remove(&oldest);
         }
     }

@@ -28,6 +28,11 @@ pub enum ServiceError {
     /// The worker processing the job disappeared without reporting a
     /// result (only possible if a worker thread panicked).
     Disconnected,
+    /// The service could not spawn a worker thread at startup.
+    WorkerSpawn {
+        /// The operating system's error message.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -43,6 +48,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Canceled => write!(f, "job canceled"),
             ServiceError::Compile(e) => write!(f, "{e}"),
             ServiceError::Disconnected => write!(f, "worker disconnected before reporting"),
+            ServiceError::WorkerSpawn { reason } => {
+                write!(f, "failed to spawn worker thread: {reason}")
+            }
         }
     }
 }

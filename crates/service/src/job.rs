@@ -2,7 +2,7 @@
 
 use crate::error::ServiceError;
 use nsb_circuit::Circuit;
-use nsb_compiler::{CompiledCircuit, LoweringMode};
+use nsb_compiler::{CompiledCircuit, LoweringMode, VerifyLevel};
 use nsb_device::BasisStrategy;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -23,22 +23,35 @@ pub struct JobSpec {
     /// deadline elapses — even while still queued — fail with
     /// [`ServiceError::DeadlineExceeded`].
     pub deadline: Option<Duration>,
+    /// Verification level for this job. The default runs the verifier
+    /// suite only in debug builds; [`VerifyLevel::Full`] makes the job a
+    /// *verified compilation*: the result is checked by the full suite and
+    /// rejected (with the violation report) if any check fails.
+    pub verify: VerifyLevel,
 }
 
 impl JobSpec {
-    /// A job with the strategy's default mode and no deadline.
+    /// A job with the strategy's default mode, no deadline, and the
+    /// process-wide default verification level ([`VerifyLevel::from_env`]).
     pub fn new(circuit: Circuit, strategy: BasisStrategy) -> Self {
         JobSpec {
             circuit,
             strategy,
             mode: None,
             deadline: None,
+            verify: VerifyLevel::from_env(),
         }
     }
 
     /// Sets a lowering-mode override.
     pub fn with_mode(mut self, mode: LoweringMode) -> Self {
         self.mode = Some(mode);
+        self
+    }
+
+    /// Sets the verification level (see [`JobSpec::verify`]).
+    pub fn with_verification(mut self, level: VerifyLevel) -> Self {
+        self.verify = level;
         self
     }
 

@@ -16,24 +16,32 @@
 //!
 //! Jobs support per-job deadlines and cooperative cancellation, checked
 //! between pipeline stages (route, lower, schedule); shutdown is
-//! graceful — accepted jobs drain before the workers exit. Everything is
+//! graceful — accepted jobs drain before the workers exit. Jobs may also
+//! request *verified compilation* ([`JobSpec::with_verification`]): the
+//! output runs through the `nsb-verify` suite and is rejected — with the
+//! full violation report — if any static check fails. Everything is
 //! `std`-only.
 //!
 //! ```
 //! use nsb_circuit::generators;
+//! use nsb_compiler::VerifyLevel;
 //! use nsb_device::{BasisStrategy, Device, DeviceConfig};
 //! use nsb_service::{CompileService, JobSpec, ServiceConfig};
 //!
 //! let device = Device::build(3, 2, DeviceConfig::fast_test()).unwrap();
-//! let service = CompileService::new(device, ServiceConfig::default());
+//! let service = CompileService::new(device, ServiceConfig::default()).unwrap();
 //! let handle = service
-//!     .submit(JobSpec::new(generators::qft(4, true), BasisStrategy::Criterion2))
+//!     .submit(
+//!         JobSpec::new(generators::qft(4, true), BasisStrategy::Criterion2)
+//!             .with_verification(VerifyLevel::Full),
+//!     )
 //!     .unwrap();
 //! let compiled = handle.wait().unwrap();
 //! assert!(compiled.fidelity > 0.9);
 //! println!("{}", service.metrics().report());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bounded;

@@ -29,6 +29,13 @@ pub struct ServiceMetrics {
     pub lower_nanos: AtomicU64,
     /// Total nanoseconds spent scheduling and fidelity evaluation.
     pub schedule_nanos: AtomicU64,
+    /// Total nanoseconds spent in post-compile verification.
+    pub verify_nanos: AtomicU64,
+    /// Jobs whose output ran through the verifier suite.
+    pub jobs_verified: AtomicU64,
+    /// Total verifier violations across all verified jobs (every one of
+    /// these also failed its job with a verification error).
+    pub verification_violations: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -51,6 +58,7 @@ impl ServiceMetrics {
             Stage::Route => &self.route_nanos,
             Stage::Lower => &self.lower_nanos,
             Stage::Schedule => &self.schedule_nanos,
+            Stage::Verify => &self.verify_nanos,
         };
         counter.fetch_add(nanos, Ordering::Relaxed);
     }
@@ -64,7 +72,9 @@ impl ServiceMetrics {
              \x20 jobs: {} submitted, {} completed, {} failed, {} timed out, {} canceled\n\
              \x20 queue depth: {}\n\
              \x20 cache: {} hits, {} misses ({:.1}% hit rate)\n\
-             \x20 stage latency sums: route {:.1} ms, lower {:.1} ms, schedule {:.1} ms",
+             \x20 verification: {} jobs verified, {} violations\n\
+             \x20 stage latency sums: route {:.1} ms, lower {:.1} ms, schedule {:.1} ms, \
+             verify {:.1} ms",
             load(&self.jobs_submitted),
             load(&self.jobs_completed),
             load(&self.jobs_failed),
@@ -74,9 +84,12 @@ impl ServiceMetrics {
             load(&self.cache_hits),
             load(&self.cache_misses),
             100.0 * self.cache_hit_rate(),
+            load(&self.jobs_verified),
+            load(&self.verification_violations),
             ms(&self.route_nanos),
             ms(&self.lower_nanos),
             ms(&self.schedule_nanos),
+            ms(&self.verify_nanos),
         )
     }
 }
@@ -87,6 +100,7 @@ pub(crate) enum Stage {
     Route,
     Lower,
     Schedule,
+    Verify,
 }
 
 #[cfg(test)]

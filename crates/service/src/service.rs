@@ -7,9 +7,10 @@ use crate::error::ServiceError;
 use crate::job::{Job, JobHandle, JobSpec};
 use crate::metrics::{ServiceMetrics, Stage};
 use nsb_compiler::{default_mode, sabre_route, CompiledCircuit, Lowerer, SabreConfig};
-use nsb_compiler::{schedule, CompileError};
+use nsb_compiler::{schedule, to_schedule_facts, to_verify_ops, CompileError};
 use nsb_device::Device;
 use nsb_synth::SynthCache;
+use nsb_verify::{VerifierSuite, VerifyTarget};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -61,26 +62,42 @@ pub struct CompileService {
 
 impl CompileService {
     /// Starts the worker pool for `device`.
-    pub fn new(device: Device, config: ServiceConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::WorkerSpawn`] when the operating system refuses to
+    /// start a worker thread; any workers already started are joined
+    /// before returning.
+    pub fn new(device: Device, config: ServiceConfig) -> Result<Self, ServiceError> {
         let device = Arc::new(device);
         let metrics = Arc::new(ServiceMetrics::default());
         let cache =
             Arc::new(SharedSynthCache::new(config.cache_capacity).with_metrics(metrics.clone()));
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
         let accepting = Arc::new(AtomicBool::new(true));
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let device = device.clone();
-                let queue = queue.clone();
-                let cache = cache.clone();
-                let metrics = metrics.clone();
-                std::thread::Builder::new()
-                    .name(format!("nsb-service-worker-{i}"))
-                    .spawn(move || worker_loop(&device, &queue, &cache, &metrics))
-                    .expect("spawn service worker")
-            })
-            .collect();
-        CompileService {
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let device = device.clone();
+            let queue_for_worker = queue.clone();
+            let cache = cache.clone();
+            let metrics = metrics.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("nsb-service-worker-{i}"))
+                .spawn(move || worker_loop(&device, &queue_for_worker, &cache, &metrics));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    queue.close();
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    return Err(ServiceError::WorkerSpawn {
+                        reason: e.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(CompileService {
             device,
             queue,
             cache,
@@ -88,7 +105,7 @@ impl CompileService {
             accepting,
             next_id: AtomicU64::new(0),
             workers,
-        }
+        })
     }
 
     /// The device jobs compile onto.
@@ -220,6 +237,7 @@ fn run_job(
         &SabreConfig::default(),
     );
     metrics.record_stage(Stage::Route, started.elapsed());
+    let routed = routed.map_err(|e| ServiceError::Compile(e.into()))?;
     abort_check(job, "route")?;
 
     let started = Instant::now();
@@ -231,7 +249,7 @@ fn run_job(
         .with_shared_cache(cache.clone() as Arc<dyn SynthCache>);
     let lowered = lowerer.lower(&routed.circuit);
     metrics.record_stage(Stage::Lower, started.elapsed());
-    let ops = lowered.map_err(|synthesis| ServiceError::Compile(CompileError { synthesis }))?;
+    let ops = lowered.map_err(|e| ServiceError::Compile(e.into()))?;
     abort_check(job, "lower")?;
 
     let started = Instant::now();
@@ -239,6 +257,28 @@ fn run_job(
     let sched = schedule(&ops, n_qubits, device.config().t_1q);
     let fidelity = sched.coherence_fidelity(device.config().coherence_time);
     metrics.record_stage(Stage::Schedule, started.elapsed());
+    abort_check(job, "schedule")?;
+
+    if job.spec.verify.is_enabled() {
+        let started = Instant::now();
+        let suite = VerifierSuite::standard();
+        let vops = to_verify_ops(&ops, device, job.spec.strategy);
+        let target = VerifyTarget::new(device, job.spec.strategy, vops)
+            .with_source(&routed.circuit)
+            .with_schedule(to_schedule_facts(&sched));
+        let report = suite.run(&target);
+        metrics.record_stage(Stage::Verify, started.elapsed());
+        metrics.jobs_verified.fetch_add(1, Ordering::Relaxed);
+        if !report.is_clean() {
+            metrics
+                .verification_violations
+                .fetch_add(report.violations.len() as u64, Ordering::Relaxed);
+            return Err(ServiceError::Compile(CompileError::Verification {
+                stage: "service",
+                report,
+            }));
+        }
+    }
 
     Ok(CompiledCircuit {
         ops,
@@ -277,7 +317,7 @@ mod tests {
         let expected = nsb_compiler::Transpiler::new(&device, BasisStrategy::Criterion2)
             .compile(&logical)
             .expect("direct compile");
-        let service = CompileService::new(device, small_config());
+        let service = CompileService::new(device, small_config()).expect("service");
         let handle = service
             .submit(JobSpec::new(logical, BasisStrategy::Criterion2))
             .expect("submit");
@@ -289,7 +329,7 @@ mod tests {
 
     #[test]
     fn zero_deadline_times_out() {
-        let service = CompileService::new(test_device(), small_config());
+        let service = CompileService::new(test_device(), small_config()).expect("service");
         let spec = JobSpec::new(generators::ghz(4), BasisStrategy::Criterion1)
             .with_deadline(Duration::ZERO);
         let handle = service.submit(spec).expect("submit");
@@ -309,7 +349,8 @@ mod tests {
                 queue_capacity: 1,
                 cache_capacity: 16,
             },
-        );
+        )
+        .expect("service");
         // Saturate: keep submitting until the bounded queue rejects one.
         let mut handles = Vec::new();
         let mut saw_full = false;
@@ -342,7 +383,8 @@ mod tests {
                 queue_capacity: 16,
                 cache_capacity: 256,
             },
-        );
+        )
+        .expect("service");
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 service
@@ -359,7 +401,7 @@ mod tests {
     #[test]
     fn rejects_after_shutdown() {
         let device = test_device();
-        let service = CompileService::new(device.clone(), small_config());
+        let service = CompileService::new(device.clone(), small_config()).expect("service");
         service.accepting.store(false, Ordering::Relaxed);
         match service.submit(JobSpec::new(generators::ghz(3), BasisStrategy::Baseline)) {
             Err(ServiceError::ShuttingDown) => {}
@@ -376,7 +418,8 @@ mod tests {
                 queue_capacity: 16,
                 cache_capacity: 256,
             },
-        );
+        )
+        .expect("service");
         // Occupy the single worker with slow jobs, then cancel a queued
         // one before it can start.
         let slow: Vec<_> = (0..2)
@@ -413,7 +456,8 @@ mod tests {
                 queue_capacity: 16,
                 cache_capacity: 256,
             },
-        );
+        )
+        .expect("service");
         // Baseline strategy lowers CPhase gates by direct decomposition,
         // which is what the shared cache accelerates.
         let spec = JobSpec::new(generators::qft(4, true), BasisStrategy::Baseline);

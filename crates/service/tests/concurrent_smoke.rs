@@ -46,14 +46,17 @@ fn concurrent_results_match_serial_exactly() {
         })
         .collect();
 
-    let service = Arc::new(CompileService::new(
-        device,
-        ServiceConfig {
-            workers: 4,
-            queue_capacity: 4 * jobs.len(),
-            cache_capacity: 1024,
-        },
-    ));
+    let service = Arc::new(
+        CompileService::new(
+            device,
+            ServiceConfig {
+                workers: 4,
+                queue_capacity: 4 * jobs.len(),
+                cache_capacity: 1024,
+            },
+        )
+        .expect("start service"),
+    );
 
     // N submitter threads, each enqueueing the full M-job workload.
     let submitters: Vec<_> = (0..4)

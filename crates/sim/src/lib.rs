@@ -28,6 +28,7 @@
 //! println!("first PE at {:?} ns", traj.first_perfect_entangler().map(|p| p.duration));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod evolve;

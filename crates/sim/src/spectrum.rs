@@ -28,6 +28,7 @@ impl DressedFrame {
     /// [`DressedFrame::try_from_hamiltonian`] to handle that case.
     pub fn from_hamiltonian(h: &UnitCellHamiltonian) -> Self {
         DressedFrame::try_from_hamiltonian(h)
+            // lint: allow(no-expect) — documented panicking variant; try_from_hamiltonian is the fallible API
             .expect("dressed state identification ambiguous: overlap below 0.5")
     }
 

@@ -52,8 +52,7 @@ impl CartanTrajectory {
         self.points.iter().min_by(|a, b| {
             a.coord
                 .class_dist(target)
-                .partial_cmp(&b.coord.class_dist(target))
-                .unwrap()
+                .total_cmp(&b.coord.class_dist(target))
         })
     }
 

@@ -62,6 +62,7 @@ pub fn kak_decompose(u: &Mat4) -> KakDecomposition {
         use_depth_oracle: false,
     };
     let s = decompose_with_bases(u, &[a], &cfg)
+        // lint: allow(no-expect) — one-layer synthesis onto a gate's own canonical class always converges
         .expect("exact one-layer decomposition onto the canonical gate");
     KakDecomposition {
         before: s.locals[0],

@@ -21,6 +21,7 @@
 //! assert!(cnot.error < 1e-7);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ansatz;

@@ -1,0 +1,613 @@
+//! The standard battery of static checks.
+//!
+//! Each check is a [`Verifier`] that re-derives one invariant from first
+//! principles — device calibration tables, the Weyl chamber geometry, an
+//! independent schedule recomputation, statevector simulation — and reports
+//! every place the compiled program breaks it.
+
+use crate::report::{VerifyReport, Violation, ViolationKind};
+use crate::suite::Verifier;
+use crate::target::{ScheduleFacts, VerifyOp, VerifyTarget};
+use nsb_circuit::{Circuit, Gate, StateVector};
+use nsb_weyl::kak_vector;
+
+/// Tolerances and limits shared by all checks.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyConfig {
+    /// Element-wise tolerance for unitarity and gate-matrix comparisons.
+    pub unitary_tol: f64,
+    /// Tolerance for Cartan-coordinate class comparisons.
+    pub coord_tol: f64,
+    /// Absolute tolerance (ns) for schedule times and durations.
+    pub schedule_tol: f64,
+    /// Maximum tolerated probe-state infidelity `1 - |<expected|actual>|`
+    /// for the unitary-equivalence check. Basis gates are characterized
+    /// through a simulated tomography noise model, so exact equivalence is
+    /// not expected; the default admits that calibration noise.
+    pub overlap_tol: f64,
+    /// Largest register the equivalence check will simulate; bigger
+    /// targets skip the check (recorded in the report).
+    pub max_sim_qubits: usize,
+    /// Fraction of the device coherence time a qubit's active window may
+    /// occupy before the schedule check flags it.
+    pub coherence_budget: f64,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            unitary_tol: 1e-6,
+            coord_tol: 1e-6,
+            schedule_tol: 1e-6,
+            overlap_tol: 1e-2,
+            max_sim_qubits: 12,
+            coherence_budget: 1.0,
+        }
+    }
+}
+
+fn violation(
+    check: &'static str,
+    kind: ViolationKind,
+    op_index: Option<usize>,
+    qubits: Vec<usize>,
+    message: String,
+) -> Violation {
+    Violation {
+        kind,
+        check,
+        op_index,
+        qubits,
+        message,
+    }
+}
+
+/// Check 1: every operation applies a gate that is legal for its wire(s) —
+/// locals must be unitary, two-qubit ops must apply exactly the calibrated
+/// basis gate of their edge, in the calibrated tensor order, with the
+/// calibrated duration.
+pub struct BasisLegality;
+
+impl Verifier for BasisLegality {
+    fn name(&self) -> &'static str {
+        "basis-legality"
+    }
+
+    fn verify(&self, target: &VerifyTarget, config: &VerifyConfig, report: &mut VerifyReport) {
+        let topo = target.device.topology();
+        for (i, op) in target.ops.iter().enumerate() {
+            match op {
+                VerifyOp::Local { qubit, unitary } => {
+                    if !unitary.is_unitary(config.unitary_tol) {
+                        report.violations.push(violation(
+                            self.name(),
+                            ViolationKind::IllegalBasisGate,
+                            Some(i),
+                            vec![*qubit],
+                            "local gate is not unitary".into(),
+                        ));
+                    }
+                }
+                VerifyOp::TwoQubit {
+                    qubits,
+                    duration,
+                    unitary,
+                    ..
+                } => {
+                    let Some(edge) = topo.edge_index(qubits.0, qubits.1) else {
+                        // Connectivity check reports uncoupled pairs.
+                        continue;
+                    };
+                    let cal = &target.device.edges()[edge];
+                    let basis = cal.basis(target.strategy);
+                    if *qubits != cal.gate_order {
+                        report.violations.push(violation(
+                            self.name(),
+                            ViolationKind::IllegalBasisGate,
+                            Some(i),
+                            vec![qubits.0, qubits.1],
+                            format!(
+                                "operands ({},{}) not in calibrated tensor order ({},{})",
+                                qubits.0, qubits.1, cal.gate_order.0, cal.gate_order.1
+                            ),
+                        ));
+                        continue;
+                    }
+                    if (*duration - basis.duration).abs() > config.schedule_tol {
+                        report.violations.push(violation(
+                            self.name(),
+                            ViolationKind::IllegalBasisGate,
+                            Some(i),
+                            vec![qubits.0, qubits.1],
+                            format!(
+                                "duration {duration} ns differs from calibrated {} ns",
+                                basis.duration
+                            ),
+                        ));
+                    }
+                    if !unitary.approx_eq_up_to_phase(&basis.gate, config.unitary_tol) {
+                        report.violations.push(violation(
+                            self.name(),
+                            ViolationKind::IllegalBasisGate,
+                            Some(i),
+                            vec![qubits.0, qubits.1],
+                            format!(
+                                "gate is not the calibrated {} basis gate of this edge \
+                                 (phase distance {:.3e})",
+                                target.strategy,
+                                unitary.phase_distance(&basis.gate)
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Check 2: every operation addresses qubits inside the register, and
+/// every two-qubit operation — in the ops and in the routed source — acts
+/// on a coupled pair of the device topology.
+pub struct ConnectivityLegality;
+
+impl Verifier for ConnectivityLegality {
+    fn name(&self) -> &'static str {
+        "connectivity-legality"
+    }
+
+    fn verify(&self, target: &VerifyTarget, _config: &VerifyConfig, report: &mut VerifyReport) {
+        let topo = target.device.topology();
+        let n = topo.n_qubits();
+        for (i, op) in target.ops.iter().enumerate() {
+            let qs = op.qubits();
+            if let Some(&q) = qs.iter().find(|&&q| q >= n) {
+                report.violations.push(violation(
+                    self.name(),
+                    ViolationKind::QubitOutOfRange,
+                    Some(i),
+                    qs.clone(),
+                    format!("qubit {q} outside the {n}-qubit register"),
+                ));
+                continue;
+            }
+            if let VerifyOp::TwoQubit { qubits, .. } = op {
+                if qubits.0 == qubits.1 || !topo.are_adjacent(qubits.0, qubits.1) {
+                    report.violations.push(violation(
+                        self.name(),
+                        ViolationKind::UncoupledPair,
+                        Some(i),
+                        vec![qubits.0, qubits.1],
+                        format!("qubits {},{} are not coupled", qubits.0, qubits.1),
+                    ));
+                }
+            }
+        }
+        if let Some(source) = target.source {
+            for (i, op) in source.ops().iter().enumerate() {
+                if op.gate.arity() == 2 {
+                    let (a, b) = (op.qubits[0], op.qubits[1]);
+                    if a >= n || b >= n || a == b || !topo.are_adjacent(a, b) {
+                        report.violations.push(violation(
+                            self.name(),
+                            ViolationKind::UncoupledPair,
+                            Some(i),
+                            vec![a, b],
+                            format!("routed source op {i} acts on uncoupled pair {a},{b}"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Check 3: every two-qubit block's Cartan coordinate is canonical and in
+/// the calibrated basis gate's local-equivalence class — a block whose
+/// class differs from the edge's basis could never have been produced by a
+/// legal lowering, and a claimed coordinate outside the Weyl chamber means
+/// the producer's bookkeeping is broken.
+pub struct WeylCanonicality;
+
+impl Verifier for WeylCanonicality {
+    fn name(&self) -> &'static str {
+        "weyl-canonicality"
+    }
+
+    fn verify(&self, target: &VerifyTarget, config: &VerifyConfig, report: &mut VerifyReport) {
+        let topo = target.device.topology();
+        for (i, op) in target.ops.iter().enumerate() {
+            let VerifyOp::TwoQubit {
+                qubits,
+                unitary,
+                coord,
+                ..
+            } = op
+            else {
+                continue;
+            };
+            if !unitary.is_unitary(config.unitary_tol) {
+                report.violations.push(violation(
+                    self.name(),
+                    ViolationKind::NonCanonicalWeyl,
+                    Some(i),
+                    vec![qubits.0, qubits.1],
+                    "two-qubit block is not unitary; no Cartan coordinate exists".into(),
+                ));
+                continue;
+            }
+            let actual = kak_vector(unitary);
+            if let Some(claimed) = coord {
+                if !claimed.in_chamber(config.coord_tol) {
+                    report.violations.push(violation(
+                        self.name(),
+                        ViolationKind::NonCanonicalWeyl,
+                        Some(i),
+                        vec![qubits.0, qubits.1],
+                        format!("claimed coordinate {claimed} lies outside the Weyl chamber"),
+                    ));
+                } else if !claimed.class_eq(actual, config.coord_tol) {
+                    report.violations.push(violation(
+                        self.name(),
+                        ViolationKind::NonCanonicalWeyl,
+                        Some(i),
+                        vec![qubits.0, qubits.1],
+                        format!("claimed coordinate {claimed} differs from recomputed {actual}"),
+                    ));
+                }
+            }
+            if let Some(edge) = topo.edge_index(qubits.0, qubits.1) {
+                let basis = target.device.edges()[edge].basis(target.strategy);
+                if !actual.class_eq(basis.coord, config.coord_tol) {
+                    report.violations.push(violation(
+                        self.name(),
+                        ViolationKind::NonCanonicalWeyl,
+                        Some(i),
+                        vec![qubits.0, qubits.1],
+                        format!(
+                            "block class {actual} differs from the edge's calibrated \
+                             basis class {}",
+                            basis.coord
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Check 4: the claimed schedule is consistent with an independent
+/// ASAP/ALAP recomputation from the operation list, its times are sane
+/// (non-negative, ordered, within the total duration), and every qubit's
+/// active window fits inside the coherence budget.
+pub struct ScheduleSanity;
+
+impl ScheduleSanity {
+    /// Recomputes schedule facts from the op list: forward ASAP pass for
+    /// end times, backward ALAP pass for start slack — the same contract
+    /// the compiler's scheduler documents, derived independently here.
+    pub fn recompute(ops: &[VerifyOp], n_qubits: usize, t_1q: f64) -> ScheduleFacts {
+        let mut avail = vec![0.0f64; n_qubits];
+        let mut t_end: Vec<Option<f64>> = vec![None; n_qubits];
+        let mut busy = vec![0.0f64; n_qubits];
+        let mut entangler_count = 0;
+        let mut local_count = 0;
+        let mut duration = 0.0f64;
+        for op in ops {
+            let dur = op.duration(t_1q);
+            match op {
+                VerifyOp::Local { .. } => local_count += 1,
+                VerifyOp::TwoQubit { .. } => entangler_count += 1,
+            }
+            let qs = op.qubits();
+            if qs.iter().any(|&q| q >= n_qubits) {
+                // Out-of-range ops are reported by the connectivity check;
+                // skip them here so indexing stays safe.
+                continue;
+            }
+            let start = qs.iter().map(|&q| avail[q]).fold(0.0f64, f64::max);
+            let end = start + dur;
+            for &q in &qs {
+                avail[q] = end;
+                t_end[q] = Some(end);
+                busy[q] += dur;
+            }
+            duration = duration.max(end);
+        }
+        let mut avail_rev = vec![0.0f64; n_qubits];
+        let mut t_start: Vec<Option<f64>> = vec![None; n_qubits];
+        for op in ops.iter().rev() {
+            let dur = op.duration(t_1q);
+            let qs = op.qubits();
+            if qs.iter().any(|&q| q >= n_qubits) {
+                continue;
+            }
+            let start_rev = qs.iter().map(|&q| avail_rev[q]).fold(0.0f64, f64::max);
+            let end_rev = start_rev + dur;
+            for &q in &qs {
+                avail_rev[q] = end_rev;
+                t_start[q] = Some(duration - end_rev);
+            }
+        }
+        let windows = (0..n_qubits)
+            .map(|q| match (t_start[q], t_end[q]) {
+                (Some(ti), Some(tf)) => Some((ti, tf)),
+                _ => None,
+            })
+            .collect();
+        ScheduleFacts {
+            duration,
+            windows,
+            busy,
+            entangler_count,
+            local_count,
+        }
+    }
+}
+
+impl Verifier for ScheduleSanity {
+    fn name(&self) -> &'static str {
+        "schedule-sanity"
+    }
+
+    fn verify(&self, target: &VerifyTarget, config: &VerifyConfig, report: &mut VerifyReport) {
+        let n = target.device.topology().n_qubits();
+        let t_1q = target.device.config().t_1q;
+        let tol = config.schedule_tol;
+        let recomputed = Self::recompute(&target.ops, n, t_1q);
+        let push = |report: &mut VerifyReport, kind, qubits: Vec<usize>, message: String| {
+            report
+                .violations
+                .push(violation("schedule-sanity", kind, None, qubits, message));
+        };
+        // Intrinsic sanity and coherence budget on the effective facts
+        // (the claimed schedule when provided, otherwise the recomputation).
+        let facts = target.schedule.as_ref().unwrap_or(&recomputed);
+        let budget = config.coherence_budget * target.device.config().coherence_time;
+        for q in 0..facts.windows.len().min(facts.busy.len()) {
+            let busy = facts.busy[q];
+            if busy < -tol {
+                push(
+                    report,
+                    ViolationKind::ScheduleInconsistent,
+                    vec![q],
+                    format!("negative busy time {busy} ns"),
+                );
+            }
+            let Some((ti, tf)) = facts.windows[q] else {
+                if busy > tol {
+                    push(
+                        report,
+                        ViolationKind::ScheduleInconsistent,
+                        vec![q],
+                        format!("busy for {busy} ns but has no active window"),
+                    );
+                }
+                continue;
+            };
+            // A window pairs an ALAP start with an ASAP end, so `ti > tf`
+            // is legal for a qubit with slack (busy time then dominates);
+            // both endpoints must still lie inside [0, duration].
+            if ti < -tol || tf < -tol || ti > facts.duration + tol || tf > facts.duration + tol {
+                push(
+                    report,
+                    ViolationKind::ScheduleInconsistent,
+                    vec![q],
+                    format!(
+                        "window [{ti}, {tf}] ns extends outside the total \
+                         duration {} ns",
+                        facts.duration
+                    ),
+                );
+            }
+            let window_length = (tf - ti).max(busy);
+            if window_length > budget + tol {
+                push(
+                    report,
+                    ViolationKind::CoherenceExceeded,
+                    vec![q],
+                    format!(
+                        "active window {window_length} ns exceeds the coherence \
+                         budget {budget} ns"
+                    ),
+                );
+            }
+        }
+        // Consistency of the claimed schedule against the recomputation.
+        let Some(claimed) = &target.schedule else {
+            return;
+        };
+        if claimed.entangler_count != recomputed.entangler_count
+            || claimed.local_count != recomputed.local_count
+        {
+            push(
+                report,
+                ViolationKind::ScheduleInconsistent,
+                Vec::new(),
+                format!(
+                    "claimed {} entanglers / {} locals, ops contain {} / {}",
+                    claimed.entangler_count,
+                    claimed.local_count,
+                    recomputed.entangler_count,
+                    recomputed.local_count
+                ),
+            );
+        }
+        if (claimed.duration - recomputed.duration).abs() > tol {
+            push(
+                report,
+                ViolationKind::ScheduleInconsistent,
+                Vec::new(),
+                format!(
+                    "claimed duration {} ns, recomputed {} ns",
+                    claimed.duration, recomputed.duration
+                ),
+            );
+        }
+        if claimed.windows.len() != recomputed.windows.len() {
+            push(
+                report,
+                ViolationKind::ScheduleInconsistent,
+                Vec::new(),
+                format!(
+                    "claimed schedule covers {} qubits, device has {}",
+                    claimed.windows.len(),
+                    recomputed.windows.len()
+                ),
+            );
+            return;
+        }
+        for q in 0..n {
+            if (claimed.busy[q] - recomputed.busy[q]).abs() > tol {
+                push(
+                    report,
+                    ViolationKind::ScheduleInconsistent,
+                    vec![q],
+                    format!(
+                        "claimed busy {} ns, recomputed {} ns",
+                        claimed.busy[q], recomputed.busy[q]
+                    ),
+                );
+            }
+            match (claimed.windows[q], recomputed.windows[q]) {
+                (None, None) => {}
+                (Some((ci, cf)), Some((ri, rf))) => {
+                    if (ci - ri).abs() > tol || (cf - rf).abs() > tol {
+                        push(
+                            report,
+                            ViolationKind::ScheduleInconsistent,
+                            vec![q],
+                            format!("claimed window [{ci}, {cf}] ns, recomputed [{ri}, {rf}] ns"),
+                        );
+                    }
+                }
+                (c, r) => {
+                    push(
+                        report,
+                        ViolationKind::ScheduleInconsistent,
+                        vec![q],
+                        format!("claimed window {c:?}, recomputed {r:?}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Check 5: the operation list is unitarily equivalent to the routed
+/// source circuit, established by statevector simulation over a fixed
+/// family of probe states (skipped — and recorded as skipped — when no
+/// source is attached or the register is too large to simulate).
+pub struct UnitaryEquivalence;
+
+impl UnitaryEquivalence {
+    /// A small, fixed family of state-preparation circuits exercising
+    /// basis states, superpositions and phases.
+    fn probe_circuits(n: usize) -> Vec<Circuit> {
+        let mut probes = Vec::new();
+        probes.push(Circuit::new(n)); // |0...0>
+        let mut ones = Circuit::new(n);
+        for q in 0..n {
+            ones.push(Gate::X, &[q]);
+        }
+        probes.push(ones);
+        let mut plus = Circuit::new(n);
+        for q in 0..n {
+            plus.push(Gate::H, &[q]);
+            if q % 2 == 0 {
+                plus.push(Gate::T, &[q]);
+            }
+        }
+        probes.push(plus);
+        let mut mixed = Circuit::new(n);
+        for q in 0..n {
+            match q % 3 {
+                0 => {
+                    mixed.push(Gate::H, &[q]);
+                }
+                1 => {
+                    mixed.push(Gate::X, &[q]);
+                }
+                _ => {
+                    mixed.push(Gate::H, &[q]);
+                    mixed.push(Gate::S, &[q]);
+                }
+            }
+        }
+        probes.push(mixed);
+        probes
+    }
+}
+
+impl Verifier for UnitaryEquivalence {
+    fn name(&self) -> &'static str {
+        "unitary-equivalence"
+    }
+
+    fn verify(&self, target: &VerifyTarget, config: &VerifyConfig, report: &mut VerifyReport) {
+        let Some(source) = target.source else {
+            report
+                .skipped
+                .push((self.name(), "no source circuit attached".into()));
+            return;
+        };
+        let n = target.device.topology().n_qubits();
+        if n > config.max_sim_qubits {
+            report.skipped.push((
+                self.name(),
+                format!(
+                    "{n}-qubit register exceeds the {}-qubit simulation limit",
+                    { config.max_sim_qubits }
+                ),
+            ));
+            return;
+        }
+        if source.n_qubits() != n
+            || target.ops.iter().any(|op| {
+                let qs = op.qubits();
+                qs.iter().any(|&q| q >= n) || (qs.len() == 2 && qs[0] == qs[1])
+            })
+        {
+            report.skipped.push((
+                self.name(),
+                "register mismatch or malformed ops (reported by other checks)".into(),
+            ));
+            return;
+        }
+        let mut compiled = Circuit::new(n);
+        for op in &target.ops {
+            match op {
+                VerifyOp::Local { qubit, unitary } => {
+                    compiled.push(Gate::Unitary1(*unitary), &[*qubit]);
+                }
+                VerifyOp::TwoQubit {
+                    qubits, unitary, ..
+                } => {
+                    compiled.push(Gate::Unitary2(Box::new(*unitary)), &[qubits.0, qubits.1]);
+                }
+            }
+        }
+        let mut min_overlap = f64::INFINITY;
+        for probe in Self::probe_circuits(n) {
+            let mut expected = StateVector::zero(n);
+            expected.apply_circuit(&probe);
+            expected.apply_circuit(source);
+            let mut actual = StateVector::zero(n);
+            actual.apply_circuit(&probe);
+            actual.apply_circuit(&compiled);
+            min_overlap = min_overlap.min(expected.overlap(&actual));
+        }
+        if min_overlap < 1.0 - config.overlap_tol {
+            report.violations.push(violation(
+                self.name(),
+                ViolationKind::UnitaryMismatch,
+                None,
+                Vec::new(),
+                format!(
+                    "minimum probe-state overlap {min_overlap:.6} below the \
+                     {:.6} floor",
+                    1.0 - config.overlap_tol
+                ),
+            ));
+        }
+    }
+}

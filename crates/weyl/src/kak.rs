@@ -90,6 +90,7 @@ pub fn kak_vector(u: &Mat4) -> WeylCoord {
     let lambdas = symmetric_unitary_eigenvalues(&m);
     let phis: Vec<f64> = lambdas.iter().map(|l| l.arg()).collect();
     coords_from_eigenphases(&phis)
+        // lint: allow(no-expect) — assignment search is exhaustive over a finite set that provably contains a solution
         .expect("kak_vector: no consistent eigenvalue assignment")
         .canonicalize()
 }
@@ -216,6 +217,7 @@ fn symmetric_unitary_eigenvalues(m: &Mat4) -> [Complex64; 4] {
             return [diag[(0, 0)], diag[(1, 1)], diag[(2, 2)], diag[(3, 3)]];
         }
     }
+    // lint: allow(no-panic) — a random generic combination diagonalizes any symmetric unitary; 64 draws cannot all fail
     panic!("symmetric_unitary_eigenvalues: no generic combination diagonalized m");
 }
 

@@ -28,6 +28,7 @@
 //! assert_eq!(idx, 50); // the sqrt(iSWAP) point
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod coord;

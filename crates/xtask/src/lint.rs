@@ -1,0 +1,436 @@
+//! A lightweight line-level static analyzer for workspace library code.
+//!
+//! The analyzer scans every library source file for patterns the workspace
+//! forbids outside test code — panicking shortcuts (`unwrap()`, `expect(`,
+//! `panic!`), placeholders and debug output (`todo!`, `unimplemented!`,
+//! `dbg!`, `println!`) — and for crate roots missing
+//! `#![forbid(unsafe_code)]`. Binary targets (`src/main.rs`, `src/bin/`)
+//! are exempt from the panicking and output rules (a CLI may print and
+//! bail), not from `todo!`/`dbg!`. It is deliberately not a full parser: it
+//! strips comments and string literals, tracks `#[cfg(test)]` modules by
+//! brace depth, and honors `// lint: allow(rule)` suppression markers on
+//! the offending line or the line above it.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The rules the analyzer enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `.unwrap()` in library code.
+    NoUnwrap,
+    /// `.expect(` in library code.
+    NoExpect,
+    /// `panic!` in library code.
+    NoPanic,
+    /// `todo!` or `unimplemented!` anywhere.
+    NoTodo,
+    /// `dbg!` anywhere.
+    NoDbg,
+    /// `println!`-family output in non-binary targets.
+    NoPrintln,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+}
+
+impl Rule {
+    /// The identifier used in diagnostics and `lint: allow(...)` markers.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::NoExpect => "no-expect",
+            Rule::NoPanic => "no-panic",
+            Rule::NoTodo => "no-todo",
+            Rule::NoDbg => "no-dbg",
+            Rule::NoPrintln => "no-println",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+        }
+    }
+}
+
+/// One diagnostic produced by the analyzer.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Offending file.
+    pub file: PathBuf,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// What was found.
+    pub message: String,
+    /// The offending source line, trimmed, for context.
+    pub snippet: String,
+}
+
+impl Finding {
+    /// Renders the finding as a rustc-style diagnostic.
+    pub fn render(&self) -> String {
+        let mut s = format!("error[{}]: {}\n", self.rule.id(), self.message);
+        if self.line > 0 {
+            s.push_str(&format!(
+                "  --> {}:{}\n   | {}\n",
+                self.file.display(),
+                self.line,
+                self.snippet
+            ));
+        } else {
+            s.push_str(&format!("  --> {}\n", self.file.display()));
+        }
+        s
+    }
+}
+
+/// Whether a file is a binary target (where terminal output is fine) or
+/// library code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/main.rs` or a file under `src/bin/`.
+    Bin,
+    /// Everything else under `src/`.
+    Lib,
+}
+
+/// Collects the workspace's library source files.
+///
+/// Scans the root package's `src/` and every `crates/*/src/` except
+/// `crates/xtask` itself (this tool is a development binary and its source
+/// necessarily spells out the forbidden patterns). Vendored dependency
+/// stubs under `vendor/` are third-party stand-ins and are skipped too.
+pub fn source_files(root: &Path) -> Vec<(PathBuf, FileKind)> {
+    let mut out = Vec::new();
+    let mut src_dirs = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "xtask"))
+            .collect();
+        dirs.sort();
+        for d in dirs {
+            src_dirs.push(d.join("src"));
+        }
+    }
+    for dir in src_dirs {
+        collect_rs(&dir, &mut out);
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<(PathBuf, FileKind)>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let is_bin = path.file_name().is_some_and(|n| n == "main.rs")
+                || path
+                    .parent()
+                    .and_then(|p| p.file_name())
+                    .is_some_and(|n| n == "bin");
+            let kind = if is_bin { FileKind::Bin } else { FileKind::Lib };
+            out.push((path, kind));
+        }
+    }
+}
+
+/// Runs the analyzer over the whole workspace rooted at `root`.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (path, kind) in source_files(root) {
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        findings.extend(analyze(&rel, &text, kind));
+    }
+    findings
+}
+
+/// Analyzes one file's source text.
+pub fn analyze(file: &Path, text: &str, kind: FileKind) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let is_crate_root = kind == FileKind::Lib
+        && file.file_name().is_some_and(|n| n == "lib.rs")
+        && file
+            .parent()
+            .and_then(|p| p.file_name())
+            .is_some_and(|n| n == "src");
+    if is_crate_root && !text.contains("#![forbid(unsafe_code)]") {
+        findings.push(Finding {
+            file: file.to_path_buf(),
+            line: 0,
+            rule: Rule::ForbidUnsafe,
+            message: "crate root does not declare `#![forbid(unsafe_code)]`".into(),
+            snippet: String::new(),
+        });
+    }
+    let mut in_block_comment = false;
+    let mut brace_depth: i64 = 0;
+    // Depth at which a `#[cfg(test)] mod` opened; lines inside it are test
+    // code and exempt from the panicking-shortcut rules.
+    let mut test_mod_open_depth: Option<i64> = None;
+    let mut cfg_test_pending = false;
+    let mut allow_from_previous: BTreeSet<String> = BTreeSet::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut allowed = std::mem::take(&mut allow_from_previous);
+        if let Some(marks) = allow_markers(raw) {
+            let only_comment = raw.trim_start().starts_with("//");
+            if only_comment {
+                allow_from_previous = marks.clone();
+            }
+            allowed.extend(marks);
+        }
+        let code = strip_code(raw, &mut in_block_comment);
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        if let Some(open_depth) = test_mod_open_depth {
+            brace_depth += opens - closes;
+            if brace_depth <= open_depth {
+                test_mod_open_depth = None;
+            }
+            continue;
+        }
+        if code.contains("#[cfg(test)]") {
+            cfg_test_pending = true;
+            brace_depth += opens - closes;
+            continue;
+        }
+        if cfg_test_pending {
+            let trimmed = code.trim();
+            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
+                cfg_test_pending = false;
+                if opens > 0 {
+                    test_mod_open_depth = Some(brace_depth);
+                    brace_depth += opens - closes;
+                    continue;
+                }
+                // `mod tests;` — the gated module lives in its own file;
+                // that file is still scanned but has no cfg marker, so we
+                // accept it as library code (the workspace keeps test
+                // modules inline).
+            } else if !trimmed.is_empty() && !trimmed.starts_with("#[") {
+                // The cfg gated a single non-module item: exempt that item's
+                // opening line, then resume.
+                cfg_test_pending = false;
+                brace_depth += opens - closes;
+                continue;
+            }
+        }
+        brace_depth += opens - closes;
+        let mut hit = |rule: Rule, what: &str| {
+            if allowed.contains(rule.id()) || allowed.contains("all") {
+                return;
+            }
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: line_no,
+                rule,
+                message: format!("forbidden pattern `{what}` in library code"),
+                snippet: raw.trim().to_string(),
+            });
+        };
+        if kind == FileKind::Lib {
+            if code.contains(".unwrap()") {
+                hit(Rule::NoUnwrap, ".unwrap()");
+            }
+            if code.contains(".expect(") {
+                hit(Rule::NoExpect, ".expect(");
+            }
+            if code.contains("panic!") {
+                hit(Rule::NoPanic, "panic!");
+            }
+        }
+        if code.contains("todo!") || code.contains("unimplemented!") {
+            hit(Rule::NoTodo, "todo!/unimplemented!");
+        }
+        if code.contains("dbg!") {
+            hit(Rule::NoDbg, "dbg!");
+        }
+        if kind == FileKind::Lib
+            && ["println!", "print!", "eprintln!", "eprint!"]
+                .iter()
+                .any(|p| code.contains(p))
+        {
+            hit(Rule::NoPrintln, "println!-family output");
+        }
+    }
+    findings
+}
+
+/// Parses a `lint: allow(...)` marker out of a line's comments; returns
+/// the allowed rule ids (or `{"all"}` for a bare `lint: allow`).
+fn allow_markers(raw: &str) -> Option<BTreeSet<String>> {
+    let pos = raw.find("lint: allow")?;
+    let rest = &raw[pos + "lint: allow".len()..];
+    let mut set = BTreeSet::new();
+    if let Some(open) = rest.find('(') {
+        if let Some(close) = rest[open..].find(')') {
+            for id in rest[open + 1..open + close].split(',') {
+                set.insert(id.trim().to_string());
+            }
+            return Some(set);
+        }
+    }
+    set.insert("all".to_string());
+    Some(set)
+}
+
+/// Strips line comments, block comments, string literals and char literals
+/// from one line, preserving the surviving code (literals are replaced by
+/// a space so adjacent tokens do not fuse).
+fn strip_code(raw: &str, in_block_comment: &mut bool) -> String {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut out = String::with_capacity(raw.len());
+    let mut i = 0;
+    let mut in_string = false;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if *in_block_comment {
+            if c == '*' && next == Some('/') {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if in_string {
+            if c == '\\' {
+                i += 2;
+            } else {
+                if c == '"' {
+                    in_string = false;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && next == Some('/') {
+            break;
+        }
+        if c == '/' && next == Some('*') {
+            *in_block_comment = true;
+            i += 2;
+            continue;
+        }
+        if c == '"' {
+            in_string = true;
+            out.push(' ');
+            i += 1;
+            continue;
+        }
+        if c == '\'' {
+            // Distinguish char literals from lifetimes: a char literal has
+            // a closing quote right after one (possibly escaped) character.
+            if next == Some('\\') {
+                if let Some(close) = chars[i + 2..].iter().position(|&c| c == '\'') {
+                    out.push(' ');
+                    i += 2 + close + 1;
+                    continue;
+                }
+            } else if chars.get(i + 2) == Some(&'\'') {
+                out.push(' ');
+                i += 3;
+                continue;
+            }
+            out.push('\'');
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    // An unterminated string at end-of-line (rare multi-line literal) is
+    // treated conservatively: the next line scans as code.
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(text: &str) -> Vec<Finding> {
+        analyze(Path::new("crates/foo/src/code.rs"), text, FileKind::Lib)
+    }
+
+    #[test]
+    fn flags_panicking_shortcuts() {
+        let f =
+            lint("fn f() {\n    x.unwrap();\n    y.expect(\"boom\");\n    panic!(\"no\");\n}\n");
+        let rules: Vec<Rule> = f.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec![Rule::NoUnwrap, Rule::NoExpect, Rule::NoPanic]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn skips_comments_and_strings() {
+        let f = lint(
+            "fn f() {\n    // x.unwrap() in a comment\n    let s = \"panic! .unwrap()\";\n    /* .expect( */\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn skips_cfg_test_modules() {
+        let text = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\nfn after() { y.unwrap(); }\n";
+        let f = lint(text);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 7);
+    }
+
+    #[test]
+    fn honors_allow_markers() {
+        let same_line = "fn f() { x.unwrap() } // lint: allow(no-unwrap)\n";
+        assert!(lint(same_line).is_empty());
+        let prev_line = "// lint: allow(no-expect)\nfn f() { x.expect(\"ok\") }\n";
+        assert!(lint(prev_line).is_empty());
+        let wrong_rule = "fn f() { x.unwrap() } // lint: allow(no-expect)\n";
+        assert_eq!(lint(wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn println_only_in_lib_files() {
+        let text = "fn f() { println!(\"hi\"); }\n";
+        assert_eq!(lint(text).len(), 1);
+        let bin = analyze(Path::new("crates/foo/src/bin/tool.rs"), text, FileKind::Bin);
+        assert!(bin.is_empty());
+    }
+
+    #[test]
+    fn crate_root_requires_forbid_unsafe() {
+        let missing = analyze(
+            Path::new("crates/foo/src/lib.rs"),
+            "fn f() {}\n",
+            FileKind::Lib,
+        );
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].rule, Rule::ForbidUnsafe);
+        let present = analyze(
+            Path::new("crates/foo/src/lib.rs"),
+            "#![forbid(unsafe_code)]\nfn f() {}\n",
+            FileKind::Lib,
+        );
+        assert!(present.is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_break_char_stripping() {
+        let text = "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g() { let c = 'x'; let _ = c; }\n";
+        assert!(lint(text).is_empty());
+    }
+
+    #[test]
+    fn todo_and_dbg_flagged() {
+        let f = lint("fn f() {\n    todo!();\n}\nfn g() {\n    dbg!(3);\n}\n");
+        let rules: Vec<Rule> = f.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec![Rule::NoTodo, Rule::NoDbg]);
+    }
+}

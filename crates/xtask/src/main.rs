@@ -1,0 +1,51 @@
+//! Workspace automation driver: `cargo run -p xtask -- <task>`.
+//!
+//! Tasks:
+//! - `lint` — run the static-analysis gate over all library code and exit
+//!   nonzero when any finding survives (used by CI).
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/xtask; the workspace root is two up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(workspace_root);
+            let findings = lint::run(&root);
+            for f in &findings {
+                eprint!("{}", f.render());
+            }
+            if findings.is_empty() {
+                eprintln!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("xtask lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`\n\nusage: cargo run -p xtask -- lint [root]");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint [root]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -61,7 +61,8 @@ fn main() {
             queue_capacity: jobs.len().max(1),
             ..ServiceConfig::default()
         },
-    );
+    )
+    .expect("start service");
     let started = Instant::now();
     let handles: Vec<_> = jobs
         .iter()

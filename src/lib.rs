@@ -12,6 +12,7 @@
 //! assert!(c.dist(WeylCoord::CNOT) < 1e-7);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use nsb_core::*;
