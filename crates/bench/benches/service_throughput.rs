@@ -65,6 +65,58 @@ fn bench_batch_compilation(c: &mut Criterion) {
         })
     });
 
+    // Warm-started variant: each iteration builds a fresh service but
+    // preloads its cache from a snapshot persisted once up front, so the
+    // measured delta versus `cached_parallel` is what warm starts save.
+    let store_dir =
+        std::env::temp_dir().join(format!("nsb-bench-warm-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = SnapshotStore::open(&store_dir).expect("open store");
+    {
+        let seed = CompileService::new(
+            device().clone(),
+            ServiceConfig {
+                queue_capacity: jobs.len().max(1),
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("seed service");
+        for (strategy, circuit) in &jobs {
+            seed.submit(JobSpec::new(circuit.clone(), *strategy))
+                .expect("submit")
+                .wait()
+                .expect("seed compile");
+        }
+        seed.drain_to(&store).expect("persist seed cache");
+        seed.shutdown();
+    }
+    group.bench_function("warm_started_parallel", |b| {
+        b.iter(|| {
+            let service = CompileService::new(
+                device().clone(),
+                ServiceConfig {
+                    queue_capacity: jobs.len().max(1),
+                    ..ServiceConfig::default()
+                },
+            )
+            .expect("start service");
+            service.warm_start_from(&store).expect("warm start");
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|(strategy, circuit)| {
+                    service
+                        .submit(JobSpec::new(circuit.clone(), *strategy))
+                        .expect("submit")
+                })
+                .collect();
+            for h in handles {
+                h.wait().expect("service compile");
+            }
+            service.shutdown();
+        })
+    });
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     group.finish();
 }
 

@@ -304,9 +304,12 @@ pub fn swap_conjugate(m: &Mat4) -> Mat4 {
 }
 
 fn gate_kind_hash(gate: &Gate, aligned: bool) -> u64 {
-    use std::collections::hash_map::DefaultHasher;
+    use nsb_synth::StableHasher;
     use std::hash::{Hash, Hasher};
-    let mut h = DefaultHasher::new();
+    // The per-compilation cache is in-memory only, but keying it with the
+    // same stable hasher as the shared/persisted caches keeps every
+    // cache-key fingerprint in the workspace on one algorithm.
+    let mut h = StableHasher::new();
     aligned.hash(&mut h);
     match gate {
         Gate::CPhase(l) => {

@@ -19,7 +19,10 @@
 //!   selection and the calibration protocol (Sections V-E, VI).
 //! * [`compiler`] — SABRE mapping and per-edge basis lowering.
 //! * [`service`] — concurrent compilation service with a shared
-//!   synthesis cache, deadlines and metrics.
+//!   synthesis cache, deadlines and metrics; [`ServicePool`](service::ServicePool)
+//!   shards it across multiple device calibrations.
+//! * [`store`] — persistent snapshot store for the synthesis cache:
+//!   checksummed on-disk format, atomic replacement, warm starts.
 //! * [`verify`] — static verification of compiled programs: basis
 //!   legality, connectivity, Weyl canonicality, schedule sanity and
 //!   unitary equivalence.
@@ -70,6 +73,7 @@ pub use nsb_device as device;
 pub use nsb_math as math;
 pub use nsb_service as service;
 pub use nsb_sim as sim;
+pub use nsb_store as store;
 pub use nsb_synth as synth;
 pub use nsb_verify as verify;
 pub use nsb_weyl as weyl;
@@ -88,10 +92,14 @@ pub mod prelude {
         BasisStrategy, Device, DeviceConfig, FrequencyPlan, GridTopology, Table1Row,
     };
     pub use nsb_math::{Complex64, DMat, Mat2, Mat4};
-    pub use nsb_service::{CompileService, JobSpec, ServiceConfig, ServiceError, ServiceMetrics};
+    pub use nsb_service::{
+        CompileService, FallbackPolicy, JobOutput, JobRoute, JobSpec, PoolConfig, ServiceConfig,
+        ServiceError, ServiceMetrics, ServicePool, ShardSpec,
+    };
     pub use nsb_sim::{
         CartanTrajectory, DriveParams, PreparedCell, TrajectoryConfig, UnitCellParams,
     };
+    pub use nsb_store::{LoadReport, SaveReport, SnapshotStore, StoredEntry};
     pub use nsb_synth::{Decomposer, DecomposerConfig, Synthesized2Q};
     pub use nsb_verify::{VerifierSuite, VerifyLevel, VerifyReport, ViolationKind};
     pub use nsb_weyl::{

@@ -338,6 +338,36 @@ impl Device {
         &self.edges[idx]
     }
 
+    /// A stable fingerprint of this device's calibration.
+    ///
+    /// Two devices share a calibration hash exactly when every edge's
+    /// selected basis gates (for all three strategies) are numerically
+    /// identical at the synthesis fingerprint resolution and the timing
+    /// parameters relevant to compilation agree. The hash is computed
+    /// with [`nsb_synth::StableHasher`], so it is identical across
+    /// processes, platforms and Rust versions — `nsb-store` snapshots and
+    /// the service pool use it to decide whether persisted synthesis
+    /// results may be reused for a device.
+    pub fn calibration_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = nsb_synth::StableHasher::new();
+        self.topology.width().hash(&mut h);
+        self.topology.height().hash(&mut h);
+        self.config.seed.hash(&mut h);
+        self.config.t_1q.to_bits().hash(&mut h);
+        self.config.coherence_time.to_bits().hash(&mut h);
+        for e in &self.edges {
+            e.qubits.hash(&mut h);
+            e.gate_order.hash(&mut h);
+            for strategy in BasisStrategy::ALL {
+                let b = e.basis(strategy);
+                nsb_synth::mat4_fingerprint(&b.gate).hash(&mut h);
+                b.duration.to_bits().hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
     /// Mean basis / SWAP / CNOT durations and coherence-limited fidelities
     /// for a strategy: one row of Table I.
     pub fn table1_row(&self, strategy: BasisStrategy) -> Table1Row {
@@ -561,6 +591,27 @@ mod tests {
         let device = Device::build(2, 1, DeviceConfig::fast_test()).expect("build");
         let e = device.edge(1, 0);
         assert_eq!(e.qubits, (0, 1));
+    }
+
+    #[test]
+    fn calibration_hash_separates_devices() {
+        let a = Device::build(2, 1, DeviceConfig::fast_test()).expect("build");
+        let b = Device::build(2, 1, DeviceConfig::fast_test()).expect("build");
+        assert_eq!(
+            a.calibration_hash(),
+            b.calibration_hash(),
+            "identical builds must agree"
+        );
+        let other = Device::build(
+            2,
+            1,
+            DeviceConfig {
+                seed: 7,
+                ..DeviceConfig::fast_test()
+            },
+        )
+        .expect("build");
+        assert_ne!(a.calibration_hash(), other.calibration_hash());
     }
 
     #[test]

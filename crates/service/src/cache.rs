@@ -61,18 +61,61 @@ impl SharedSynthCache {
     /// Number of independently locked shards.
     pub const SHARDS: usize = 16;
 
+    /// Minimum effective capacity: one entry per shard. A requested
+    /// capacity below this (including zero) is clamped up — a cache that
+    /// cannot hold anything would silently turn every lookup into a miss
+    /// and defeat the service's reuse guarantees, so it is not
+    /// constructible.
+    pub const MIN_CAPACITY: usize = Self::SHARDS;
+
     /// Creates a cache holding at most ~`capacity` entries (rounded up
-    /// to a multiple of the shard count; at least one entry per shard).
+    /// to a multiple of the shard count; clamped to at least
+    /// [`MIN_CAPACITY`](Self::MIN_CAPACITY), i.e. one entry per shard).
     pub fn new(capacity: usize) -> Self {
         SharedSynthCache {
             shards: (0..Self::SHARDS)
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
-            capacity_per_shard: capacity.div_ceil(Self::SHARDS).max(1),
+            capacity_per_shard: capacity.max(Self::MIN_CAPACITY).div_ceil(Self::SHARDS),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             metrics: None,
         }
+    }
+
+    /// Snapshots every live entry (key, target fingerprint, value), e.g.
+    /// for persistence through `nsb-store`. Shards are locked one at a
+    /// time, so concurrent lookups and stores proceed on the others; the
+    /// result is a consistent per-shard (not globally atomic) snapshot,
+    /// which is sufficient because entries are immutable once stored.
+    pub fn export_entries(&self) -> Vec<(SynthKey, u64, Synthesized2Q)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = relock(shard.lock());
+            out.extend(
+                shard
+                    .map
+                    .iter()
+                    .map(|(k, e)| (*k, e.target_fp, e.value.clone())),
+            );
+        }
+        out
+    }
+
+    /// Inserts entries without touching the hit/miss counters — the
+    /// warm-start path. Returns the number of entries inserted (the LRU
+    /// bound still applies, so a preload larger than the capacity keeps
+    /// only the most recently inserted entries per shard).
+    pub fn preload<I>(&self, entries: I) -> usize
+    where
+        I: IntoIterator<Item = (SynthKey, u64, Synthesized2Q)>,
+    {
+        let mut n = 0;
+        for (key, target_fp, value) in entries {
+            self.store(key, target_fp, &value);
+            n += 1;
+        }
+        n
     }
 
     /// Mirrors hit/miss counts into `metrics` (for
@@ -236,6 +279,44 @@ mod tests {
         assert!(cache.lookup(&b, 3).is_some());
         let stats = cache.stats();
         assert!(stats.entries <= SharedSynthCache::SHARDS);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_a_working_cache() {
+        let cache = SharedSynthCache::new(0);
+        let v = sample();
+        cache.store(key(3), 9, &v);
+        assert!(
+            cache.lookup(&key(3), 9).is_some(),
+            "clamped cache must still hold at least one entry per shard"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        // The clamp is exactly MIN_CAPACITY: zero and MIN_CAPACITY behave
+        // the same (one entry per shard).
+        assert_eq!(SharedSynthCache::MIN_CAPACITY, SharedSynthCache::SHARDS);
+    }
+
+    #[test]
+    fn export_preload_round_trip_preserves_bits() {
+        let cache = SharedSynthCache::new(64);
+        let v = sample();
+        cache.store(key(1), 10, &v);
+        cache.store(key(2), 20, &v);
+        let exported = cache.export_entries();
+        assert_eq!(exported.len(), 2);
+        let fresh = SharedSynthCache::new(64);
+        assert_eq!(fresh.preload(exported), 2);
+        let warm = fresh.lookup(&key(1), 10).expect("warm hit");
+        let cold = cache.lookup(&key(1), 10).expect("original");
+        assert_eq!(warm.error.to_bits(), cold.error.to_bits());
+        assert_eq!(warm.phase.to_bits(), cold.phase.to_bits());
+        assert_eq!(warm.locals.len(), cold.locals.len());
+        // Preloading must not register hits or misses.
+        let stats = SharedSynthCache::new(8);
+        stats.preload(cache.export_entries());
+        let s = stats.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
     }
 
     #[test]

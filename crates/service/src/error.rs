@@ -33,6 +33,15 @@ pub enum ServiceError {
         /// The operating system's error message.
         reason: String,
     },
+    /// A pool submission named a route no shard matches (and the pool's
+    /// fallback policy is [`FallbackPolicy::Reject`](crate::FallbackPolicy)).
+    NoMatchingShard {
+        /// Human-readable description of the requested route.
+        requested: String,
+    },
+    /// A persistent-store operation (warm start, drain, flush setup)
+    /// failed.
+    Store(nsb_store::StoreError),
 }
 
 impl fmt::Display for ServiceError {
@@ -51,6 +60,10 @@ impl fmt::Display for ServiceError {
             ServiceError::WorkerSpawn { reason } => {
                 write!(f, "failed to spawn worker thread: {reason}")
             }
+            ServiceError::NoMatchingShard { requested } => {
+                write!(f, "no pool shard matches route {requested}")
+            }
+            ServiceError::Store(e) => write!(f, "{e}"),
         }
     }
 }
@@ -59,6 +72,7 @@ impl Error for ServiceError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ServiceError::Compile(e) => Some(e),
+            ServiceError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -67,6 +81,12 @@ impl Error for ServiceError {
 impl From<CompileError> for ServiceError {
     fn from(e: CompileError) -> Self {
         ServiceError::Compile(e)
+    }
+}
+
+impl From<nsb_store::StoreError> for ServiceError {
+    fn from(e: nsb_store::StoreError) -> Self {
+        ServiceError::Store(e)
     }
 }
 

@@ -4,6 +4,7 @@ use crate::error::ServiceError;
 use nsb_circuit::Circuit;
 use nsb_compiler::{CompiledCircuit, LoweringMode, VerifyLevel};
 use nsb_device::BasisStrategy;
+use nsb_verify::VerifyReport;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -62,20 +63,34 @@ impl JobSpec {
     }
 }
 
+/// A successful job's full output: the compiled circuit plus, when the
+/// job was verified (its own [`VerifyLevel`] or the service's sampling
+/// mode — see `ServiceConfig::verify_sample`), the clean verification
+/// report. Jobs whose verification found violations fail with the report
+/// inside the error instead.
+#[derive(Clone, Debug)]
+pub struct JobOutput {
+    /// The compiled circuit.
+    pub circuit: CompiledCircuit,
+    /// The verifier suite's report; `None` when the job ran unverified.
+    /// Present reports are always clean (violations fail the job).
+    pub verify: Option<VerifyReport>,
+}
+
 /// One queued unit of work (internal to the service). The job id lives
 /// only on the caller's [`JobHandle`]; workers have no use for it.
 pub(crate) struct Job {
     pub(crate) spec: JobSpec,
     pub(crate) deadline: Option<Instant>,
     pub(crate) cancel: Arc<AtomicBool>,
-    pub(crate) result_tx: mpsc::Sender<Result<CompiledCircuit, ServiceError>>,
+    pub(crate) result_tx: mpsc::Sender<Result<JobOutput, ServiceError>>,
 }
 
 /// The caller's side of a submitted job: await the result, or cancel.
 pub struct JobHandle {
     pub(crate) id: u64,
     pub(crate) cancel: Arc<AtomicBool>,
-    pub(crate) result_rx: mpsc::Receiver<Result<CompiledCircuit, ServiceError>>,
+    pub(crate) result_rx: mpsc::Receiver<Result<JobOutput, ServiceError>>,
 }
 
 impl JobHandle {
@@ -91,13 +106,26 @@ impl JobHandle {
         self.cancel.store(true, Ordering::Relaxed);
     }
 
-    /// Blocks until the job finishes and returns its result.
+    /// Blocks until the job finishes and returns the compiled circuit.
+    /// Use [`wait_full`](JobHandle::wait_full) to also receive the
+    /// verification report of a verified job.
     ///
     /// # Errors
     ///
     /// Any [`ServiceError`]; [`ServiceError::Disconnected`] when the
     /// worker vanished without reporting (worker panic).
     pub fn wait(self) -> Result<CompiledCircuit, ServiceError> {
+        self.wait_full().map(|o| o.circuit)
+    }
+
+    /// Blocks until the job finishes and returns its full output,
+    /// including the clean [`VerifyReport`] when the job was verified
+    /// (explicitly or through the service's sampling mode).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`wait`](JobHandle::wait).
+    pub fn wait_full(self) -> Result<JobOutput, ServiceError> {
         self.result_rx
             .recv()
             .unwrap_or(Err(ServiceError::Disconnected))
@@ -107,7 +135,7 @@ impl JobHandle {
     /// ready yet (the handle stays usable).
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<CompiledCircuit, ServiceError>> {
         match self.result_rx.recv_timeout(timeout) {
-            Ok(result) => Some(result),
+            Ok(result) => Some(result.map(|o| o.circuit)),
             Err(mpsc::RecvTimeoutError::Timeout) => None,
             Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServiceError::Disconnected)),
         }
@@ -133,7 +161,7 @@ mod tests {
 
     #[test]
     fn cancel_sets_the_flag() {
-        let (_tx, rx) = mpsc::channel::<Result<CompiledCircuit, ServiceError>>();
+        let (_tx, rx) = mpsc::channel::<Result<JobOutput, ServiceError>>();
         let handle = JobHandle {
             id: 0,
             cancel: Arc::new(AtomicBool::new(false)),

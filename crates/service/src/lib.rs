@@ -19,8 +19,16 @@
 //! graceful — accepted jobs drain before the workers exit. Jobs may also
 //! request *verified compilation* ([`JobSpec::with_verification`]): the
 //! output runs through the `nsb-verify` suite and is rejected — with the
-//! full violation report — if any static check fails. Everything is
-//! `std`-only.
+//! full violation report — if any static check fails; verified successes
+//! carry their clean report ([`JobHandle::wait_full`]), and
+//! [`ServiceConfig::verify_sample`] spot-checks every Nth job. Everything
+//! is `std`-only.
+//!
+//! For multiple devices, a [`ServicePool`] runs one service per
+//! calibration and routes jobs by [`JobRoute`]; given a store directory
+//! it persists every shard's synthesis cache through `nsb-store` —
+//! warm start on construction, optional periodic background flush,
+//! drain on shutdown.
 //!
 //! ```
 //! use nsb_circuit::generators;
@@ -49,11 +57,13 @@ mod cache;
 mod error;
 mod job;
 mod metrics;
+mod pool;
 mod service;
 
 pub use bounded::{BoundedQueue, PushError};
 pub use cache::{CacheStats, SharedSynthCache};
 pub use error::ServiceError;
-pub use job::{JobHandle, JobSpec};
+pub use job::{JobHandle, JobOutput, JobSpec};
 pub use metrics::ServiceMetrics;
+pub use pool::{FallbackPolicy, JobRoute, PoolConfig, ServicePool, ShardMetrics, ShardSpec};
 pub use service::{CompileService, ServiceConfig};

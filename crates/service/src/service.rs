@@ -4,13 +4,15 @@
 use crate::bounded::{BoundedQueue, PushError};
 use crate::cache::SharedSynthCache;
 use crate::error::ServiceError;
-use crate::job::{Job, JobHandle, JobSpec};
+use crate::job::{Job, JobHandle, JobOutput, JobSpec};
 use crate::metrics::{ServiceMetrics, Stage};
 use nsb_compiler::{default_mode, sabre_route, CompiledCircuit, Lowerer, SabreConfig};
 use nsb_compiler::{schedule, to_schedule_facts, to_verify_ops, CompileError};
 use nsb_device::Device;
+use nsb_store::{LoadReport, SaveReport, SnapshotStore, StoreError, StoredEntry};
 use nsb_synth::SynthCache;
 use nsb_verify::{VerifierSuite, VerifyTarget};
+use std::num::NonZeroU64;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -27,6 +29,12 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Approximate shared synthesis-cache capacity (entries).
     pub cache_capacity: usize,
+    /// Verification sampling: `Some(n)` runs the full verifier suite on
+    /// every `n`-th job *in addition to* jobs that request verification
+    /// themselves — spot checks for high-throughput deployments where
+    /// verifying every job is too expensive. `Some(1)` verifies
+    /// everything; `None` (the default) samples nothing.
+    pub verify_sample: Option<NonZeroU64>,
 }
 
 impl Default for ServiceConfig {
@@ -38,6 +46,7 @@ impl Default for ServiceConfig {
                 .min(8),
             queue_capacity: 256,
             cache_capacity: 4096,
+            verify_sample: None,
         }
     }
 }
@@ -60,6 +69,29 @@ pub struct CompileService {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// Per-worker verification-sampling state: a shared job counter plus the
+/// configured stride. `None` stride disables sampling.
+#[derive(Clone)]
+struct SampleState {
+    stride: Option<NonZeroU64>,
+    counter: Arc<AtomicU64>,
+}
+
+impl SampleState {
+    /// Whether the next job should be verified by sampling. Advances the
+    /// shared counter only when sampling is enabled, so the stride is
+    /// exact across all workers.
+    fn pick(&self) -> bool {
+        match self.stride {
+            Some(n) => self
+                .counter
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(n.get()),
+            None => false,
+        }
+    }
+}
+
 impl CompileService {
     /// Starts the worker pool for `device`.
     ///
@@ -75,15 +107,22 @@ impl CompileService {
             Arc::new(SharedSynthCache::new(config.cache_capacity).with_metrics(metrics.clone()));
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
         let accepting = Arc::new(AtomicBool::new(true));
+        let sampling = SampleState {
+            stride: config.verify_sample,
+            counter: Arc::new(AtomicU64::new(0)),
+        };
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
             let device = device.clone();
             let queue_for_worker = queue.clone();
             let cache = cache.clone();
             let metrics = metrics.clone();
+            let sampling = sampling.clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("nsb-service-worker-{i}"))
-                .spawn(move || worker_loop(&device, &queue_for_worker, &cache, &metrics));
+                .spawn(move || {
+                    worker_loop(&device, &queue_for_worker, &cache, &metrics, &sampling)
+                });
             match spawned {
                 Ok(handle) => workers.push(handle),
                 Err(e) => {
@@ -122,6 +161,53 @@ impl CompileService {
     /// [`stats`](SharedSynthCache::stats)).
     pub fn cache(&self) -> &Arc<SharedSynthCache> {
         &self.cache
+    }
+
+    /// Stable fingerprint of this service's device calibration — the key
+    /// under which snapshots are persisted (see
+    /// [`SnapshotStore::path_for`]).
+    pub fn calibration_hash(&self) -> u64 {
+        self.device.calibration_hash()
+    }
+
+    /// Preloads the shared cache from the store's snapshot for this
+    /// device's calibration. A missing snapshot is not an error (the
+    /// report simply says zero entries found); corrupted records are
+    /// skipped and counted in the report.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] only for I/O failures reading an existing snapshot.
+    pub fn warm_start_from(&self, store: &SnapshotStore) -> Result<LoadReport, StoreError> {
+        let outcome = store.load(self.calibration_hash())?;
+        self.cache.preload(
+            outcome
+                .entries
+                .into_iter()
+                .map(|e| (e.key, e.target_fp, e.value)),
+        );
+        Ok(outcome.report)
+    }
+
+    /// Writes the shared cache's current entries to the store as this
+    /// device's snapshot (atomically replacing any previous one).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on any I/O failure; the previous snapshot (if any)
+    /// is left untouched in that case.
+    pub fn drain_to(&self, store: &SnapshotStore) -> Result<SaveReport, StoreError> {
+        let entries: Vec<StoredEntry> = self
+            .cache
+            .export_entries()
+            .into_iter()
+            .map(|(key, target_fp, value)| StoredEntry {
+                key,
+                target_fp,
+                value,
+            })
+            .collect();
+        store.save(self.calibration_hash(), &entries)
     }
 
     /// Submits a job without blocking.
@@ -189,10 +275,11 @@ fn worker_loop(
     queue: &BoundedQueue<Job>,
     cache: &Arc<SharedSynthCache>,
     metrics: &ServiceMetrics,
+    sampling: &SampleState,
 ) {
     while let Some(job) = queue.pop() {
         metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        let outcome = run_job(device, cache, metrics, &job);
+        let outcome = run_job(device, cache, metrics, &job, sampling.pick());
         match &outcome {
             Ok(_) => metrics.jobs_completed.fetch_add(1, Ordering::Relaxed),
             Err(ServiceError::Canceled) => metrics.jobs_canceled.fetch_add(1, Ordering::Relaxed),
@@ -221,13 +308,16 @@ fn abort_check(job: &Job, stage: &'static str) -> Result<(), ServiceError> {
 
 /// The staged compile pipeline — the same passes as
 /// [`nsb_compiler::Transpiler::compile`], with cancellation/deadline
-/// checks between stages and per-stage latency accounting.
+/// checks between stages and per-stage latency accounting. `sampled`
+/// forces verification for this job (the service's sampling mode picked
+/// it) even if the spec itself runs unverified.
 fn run_job(
     device: &Device,
     cache: &Arc<SharedSynthCache>,
     metrics: &ServiceMetrics,
     job: &Job,
-) -> Result<CompiledCircuit, ServiceError> {
+    sampled: bool,
+) -> Result<JobOutput, ServiceError> {
     abort_check(job, "queued")?;
 
     let started = Instant::now();
@@ -259,7 +349,8 @@ fn run_job(
     metrics.record_stage(Stage::Schedule, started.elapsed());
     abort_check(job, "schedule")?;
 
-    if job.spec.verify.is_enabled() {
+    let mut verify_report = None;
+    if job.spec.verify.is_enabled() || sampled {
         let started = Instant::now();
         let suite = VerifierSuite::standard();
         let vops = to_verify_ops(&ops, device, job.spec.strategy);
@@ -269,6 +360,9 @@ fn run_job(
         let report = suite.run(&target);
         metrics.record_stage(Stage::Verify, started.elapsed());
         metrics.jobs_verified.fetch_add(1, Ordering::Relaxed);
+        if sampled && !job.spec.verify.is_enabled() {
+            metrics.jobs_verify_sampled.fetch_add(1, Ordering::Relaxed);
+        }
         if !report.is_clean() {
             metrics
                 .verification_violations
@@ -278,16 +372,20 @@ fn run_job(
                 report,
             }));
         }
+        verify_report = Some(report);
     }
 
-    Ok(CompiledCircuit {
-        ops,
-        n_qubits,
-        initial_layout: routed.initial_layout,
-        final_layout: routed.final_layout,
-        swaps_inserted: routed.swaps_inserted,
-        schedule: sched,
-        fidelity,
+    Ok(JobOutput {
+        circuit: CompiledCircuit {
+            ops,
+            n_qubits,
+            initial_layout: routed.initial_layout,
+            final_layout: routed.final_layout,
+            swaps_inserted: routed.swaps_inserted,
+            schedule: sched,
+            fidelity,
+        },
+        verify: verify_report,
     })
 }
 
@@ -307,6 +405,7 @@ mod tests {
             workers: 2,
             queue_capacity: 16,
             cache_capacity: 256,
+            ..ServiceConfig::default()
         }
     }
 
@@ -348,6 +447,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 1,
                 cache_capacity: 16,
+                ..ServiceConfig::default()
             },
         )
         .expect("service");
@@ -382,6 +482,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 16,
                 cache_capacity: 256,
+                ..ServiceConfig::default()
             },
         )
         .expect("service");
@@ -417,6 +518,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 16,
                 cache_capacity: 256,
+                ..ServiceConfig::default()
             },
         )
         .expect("service");
@@ -448,6 +550,110 @@ mod tests {
     }
 
     #[test]
+    fn wait_full_surfaces_a_clean_verify_report() {
+        use nsb_verify::VerifyLevel;
+        let service = CompileService::new(test_device(), small_config()).expect("service");
+        let verified = service
+            .submit(
+                JobSpec::new(generators::ghz(4), BasisStrategy::Criterion2)
+                    .with_verification(VerifyLevel::Full),
+            )
+            .expect("submit")
+            .wait_full()
+            .expect("verified compile");
+        let report = verified.verify.expect("verified job carries a report");
+        assert!(report.is_clean());
+        assert!(!report.checks_run.is_empty());
+        let unverified = service
+            .submit(
+                JobSpec::new(generators::ghz(4), BasisStrategy::Criterion2)
+                    .with_verification(VerifyLevel::Off),
+            )
+            .expect("submit")
+            .wait_full()
+            .expect("unverified compile");
+        assert!(unverified.verify.is_none());
+    }
+
+    #[test]
+    fn verify_sampling_checks_every_nth_job() {
+        use nsb_verify::VerifyLevel;
+        let service = CompileService::new(
+            test_device(),
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 16,
+                cache_capacity: 256,
+                verify_sample: NonZeroU64::new(2),
+            },
+        )
+        .expect("service");
+        let mut reports = 0;
+        for _ in 0..4 {
+            let out = service
+                .submit(
+                    JobSpec::new(generators::ghz(3), BasisStrategy::Criterion1)
+                        .with_verification(VerifyLevel::Off),
+                )
+                .expect("submit")
+                .wait_full()
+                .expect("compile");
+            if out.verify.is_some() {
+                reports += 1;
+            }
+        }
+        let m = service.metrics();
+        assert_eq!(m.jobs_verified.load(Ordering::Relaxed), 2);
+        assert_eq!(m.jobs_verify_sampled.load(Ordering::Relaxed), 2);
+        assert_eq!(reports, 2, "sampled jobs still surface their report");
+        assert_eq!(m.verification_violations.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn warm_start_and_drain_round_trip_through_a_store() {
+        use nsb_store::SnapshotStore;
+        let dir =
+            std::env::temp_dir().join(format!("nsb-service-warm-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open(&dir).expect("open store");
+
+        let cold = CompileService::new(test_device(), small_config()).expect("cold service");
+        cold.submit(JobSpec::new(
+            generators::qft(4, true),
+            BasisStrategy::Baseline,
+        ))
+        .expect("submit")
+        .wait()
+        .expect("cold compile");
+        let exported = cold.cache().stats().entries;
+        assert!(exported > 0, "cold run must populate the cache");
+        let saved = cold.drain_to(&store).expect("drain");
+        assert_eq!(saved.entries, exported);
+        cold.shutdown();
+
+        let warm = CompileService::new(test_device(), small_config()).expect("warm service");
+        assert_eq!(warm.calibration_hash(), {
+            let d = test_device();
+            d.calibration_hash()
+        });
+        let report = warm.warm_start_from(&store).expect("warm start");
+        assert_eq!(report.loaded, exported);
+        assert_eq!(report.skipped, 0);
+        assert!(report.found);
+        assert_eq!(warm.cache().stats().entries, exported);
+        // The warmed service compiles with cache hits from the snapshot.
+        warm.submit(JobSpec::new(
+            generators::qft(4, true),
+            BasisStrategy::Baseline,
+        ))
+        .expect("submit")
+        .wait()
+        .expect("warm compile");
+        assert!(warm.cache().stats().hits > 0, "warm run must hit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn shared_cache_fills_and_hits_across_jobs() {
         let service = CompileService::new(
             test_device(),
@@ -455,6 +661,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 16,
                 cache_capacity: 256,
+                ..ServiceConfig::default()
             },
         )
         .expect("service");

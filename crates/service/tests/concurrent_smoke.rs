@@ -53,6 +53,7 @@ fn concurrent_results_match_serial_exactly() {
                 workers: 4,
                 queue_capacity: 4 * jobs.len(),
                 cache_capacity: 1024,
+                ..ServiceConfig::default()
             },
         )
         .expect("start service"),

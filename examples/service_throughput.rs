@@ -1,6 +1,7 @@
 //! Batch-compilation throughput: the concurrent service (worker pool +
 //! shared synthesis cache) versus one-at-a-time serial compilation of
-//! the same jobs.
+//! the same jobs, then a warm-started service preloaded from a
+//! persisted cache snapshot.
 //!
 //! Run with: `cargo run --release --example service_throughput`
 //! (pass `--full` for the 10x10 device and the full Table II suite).
@@ -101,5 +102,68 @@ fn main() {
         stats.hits > 0,
         "expected shared-cache hits across repeated jobs"
     );
+    let cold_rate = service.metrics().cache_hit_rate();
+
+    // Warm start: persist the cache, preload a fresh service from the
+    // snapshot and rerun the whole batch. Every synthesis is already on
+    // disk, so the warm run's hit rate must beat the cold run's.
+    let store_dir =
+        std::env::temp_dir().join(format!("nsb-throughput-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = SnapshotStore::open(&store_dir).expect("open store");
+    let saved = service.drain_to(&store).expect("persist cache");
+    let device = service.device().clone();
     service.shutdown();
+    println!(
+        "\npersisted {} cache entries ({} bytes); warm-starting a fresh service...",
+        saved.entries, saved.bytes
+    );
+
+    let warm = CompileService::new(
+        device,
+        ServiceConfig {
+            workers,
+            queue_capacity: jobs.len().max(1),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("start warm service");
+    let report = warm.warm_start_from(&store).expect("warm start");
+    println!(
+        "warm start: {} entries loaded, {} skipped",
+        report.loaded, report.skipped
+    );
+    let started = Instant::now();
+    let handles: Vec<_> = jobs
+        .iter()
+        .map(|(_, strategy, circuit)| {
+            warm.submit(JobSpec::new(circuit.clone(), *strategy))
+                .expect("submit")
+        })
+        .collect();
+    let warm_fidelities: Vec<f64> = handles
+        .into_iter()
+        .map(|h| h.wait().expect("warm compile").fidelity)
+        .collect();
+    let warm_elapsed = started.elapsed();
+    let warm_rate = warm.metrics().cache_hit_rate();
+    println!(
+        "warm:    {} jobs in {:.2} s ({:.1}% hit rate vs {:.1}% cold)",
+        jobs.len(),
+        warm_elapsed.as_secs_f64(),
+        100.0 * warm_rate,
+        100.0 * cold_rate,
+    );
+    let warm_identical = serial_fidelities
+        .iter()
+        .zip(&warm_fidelities)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    println!("warm fidelities bit-identical to serial: {warm_identical}");
+    assert!(warm_identical, "warm-started results diverged");
+    assert!(
+        warm_rate > cold_rate,
+        "warm-started hit rate ({warm_rate:.3}) must beat the cold run ({cold_rate:.3})"
+    );
+    warm.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
 }
