@@ -65,6 +65,38 @@ fn bench_batch_compilation(c: &mut Criterion) {
         })
     });
 
+    // Intra-job fan-out: a single worker so the only parallelism is the
+    // per-job scoped-thread prewarm of distinct synthesis targets.
+    // Compare against `one_worker` to see what the fan-out alone buys.
+    for (id, intra) in [("one_worker", 1usize), ("one_worker_fanout4", 4)] {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let service = CompileService::new(
+                    device().clone(),
+                    ServiceConfig {
+                        workers: 1,
+                        queue_capacity: jobs.len().max(1),
+                        intra_job_threads: intra,
+                        ..ServiceConfig::default()
+                    },
+                )
+                .expect("start service");
+                let handles: Vec<_> = jobs
+                    .iter()
+                    .map(|(strategy, circuit)| {
+                        service
+                            .submit(JobSpec::new(circuit.clone(), *strategy))
+                            .expect("submit")
+                    })
+                    .collect();
+                for h in handles {
+                    h.wait().expect("service compile");
+                }
+                service.shutdown();
+            })
+        });
+    }
+
     // Warm-started variant: each iteration builds a fresh service but
     // preloads its cache from a snapshot persisted once up front, so the
     // measured delta versus `cached_parallel` is what warm starts save.

@@ -5,7 +5,7 @@ use nsb_circuit::{Circuit, Gate};
 use nsb_device::{BasisStrategy, Device, SelectedBasis};
 use nsb_math::{Mat2, Mat4};
 use nsb_synth::{SynthCache, SynthesisFailed, Synthesized2Q};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -275,6 +275,107 @@ impl<'d> Lowerer<'d> {
     pub fn cache_size(&self) -> usize {
         self.cache.len()
     }
+
+    /// Synthesizes the circuit's distinct decomposition targets across a
+    /// bounded scoped-thread fan-out, filling the per-compilation cache so
+    /// a subsequent [`Lowerer::lower`] hits on every one of them.
+    ///
+    /// Decompositions are deterministic, so lowering after a prewarm emits
+    /// ops **bit-identical** to a serial lowering — the parallelism only
+    /// changes when the synthesis work happens, not its results. Gates
+    /// lowered through precomputed per-edge circuits (SWAP, CNOT, and the
+    /// ViaCnot analytic expansions) need no synthesis and are skipped, as
+    /// are two-qubit gates off any device edge. `threads <= 1` is a no-op,
+    /// preserving today's serial behavior.
+    ///
+    /// Prewarming never fails: a target whose synthesis does not converge
+    /// is simply left out of the cache, so the follow-up `lower` call
+    /// recomputes it serially and surfaces the error (or a `NotCoupled`)
+    /// at exactly the op a fully serial lowering would.
+    pub fn prewarm(&mut self, routed: &Circuit, threads: usize) {
+        if threads <= 1 {
+            return;
+        }
+        // Distinct pending targets, in circuit order.
+        let mut pending: Vec<(CacheKey, Mat4, &SelectedBasis)> = Vec::new();
+        let mut seen: HashSet<CacheKey> = HashSet::new();
+        for op in routed.ops() {
+            if op.qubits.len() < 2 {
+                continue;
+            }
+            let (q0, q1) = (op.qubits[0], op.qubits[1]);
+            let Some(edge_idx) = self.device.topology().edge_index(q0, q1) else {
+                continue;
+            };
+            match &op.gate {
+                Gate::Swap | Gate::Cx => continue,
+                Gate::Cz | Gate::CPhase(_) | Gate::Rzz(_) if self.mode == LoweringMode::ViaCnot => {
+                    continue
+                }
+                other => {
+                    let cal = &self.device.edges()[edge_idx];
+                    let basis = cal.basis(self.strategy);
+                    let (g0, g1) = cal.gate_order;
+                    let aligned = (q0, q1) == (g0, g1);
+                    let key = CacheKey {
+                        edge: edge_idx,
+                        strategy_tag: strategy_tag(self.strategy),
+                        kind: gate_kind_hash(other, aligned),
+                    };
+                    if self.cache.contains_key(&key) || !seen.insert(key) {
+                        continue;
+                    }
+                    let target = if aligned || other.is_symmetric() {
+                        other.mat4()
+                    } else {
+                        swap_conjugate(&other.mat4())
+                    };
+                    pending.push((key, target, basis));
+                }
+            }
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let workers = threads.min(pending.len());
+        let shared = self.shared.clone();
+        let mode = self.mode;
+        let chunk_len = pending.len().div_ceil(workers);
+        let results: Vec<(CacheKey, Synthesized2Q)> = std::thread::scope(|s| {
+            let handles: Vec<_> = pending
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    let shared = shared.clone();
+                    s.spawn(move || {
+                        chunk
+                            .iter()
+                            .filter_map(|(key, target, basis)| {
+                                let r = match &shared {
+                                    Some(cache) => basis.decomposer.decompose_cached(
+                                        target,
+                                        mode_tag(mode),
+                                        cache.as_ref(),
+                                    ),
+                                    None => basis.decomposer.decompose(target),
+                                };
+                                r.ok().map(|s| (*key, s))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        for (key, synth) in results {
+            self.cache.insert(key, synth);
+        }
+    }
 }
 
 fn local(qubit: usize, unitary: Mat2) -> LoweredOp {
@@ -445,6 +546,54 @@ mod tests {
         let merged = merge_locals(ops, 2);
         // The two H's cannot merge across the entangler.
         assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn prewarm_then_lower_matches_serial_lowering_bit_for_bit() {
+        use nsb_circuit::generators;
+        use nsb_device::{BasisStrategy, DeviceConfig};
+        let device = Device::build(3, 2, DeviceConfig::fast_test()).expect("test device");
+        let logical = generators::qft(4, true);
+        let routed =
+            crate::sabre_route(&logical, device.topology(), &crate::SabreConfig::default())
+                .expect("route");
+
+        let mut serial = Lowerer::new(&device, BasisStrategy::Baseline, LoweringMode::Direct);
+        let expected = serial.lower(&routed.circuit).expect("serial lower");
+
+        let mut warmed = Lowerer::new(&device, BasisStrategy::Baseline, LoweringMode::Direct);
+        warmed.prewarm(&routed.circuit, 4);
+        let prewarmed_entries = warmed.cache_size();
+        assert!(prewarmed_entries > 0, "prewarm cached nothing");
+        let got = warmed.lower(&routed.circuit).expect("warmed lower");
+        assert_eq!(
+            warmed.cache_size(),
+            prewarmed_entries,
+            "lower recomputed a target prewarm should have cached"
+        );
+
+        // Debug output round-trips every f64 bit pattern, so string
+        // equality here is bit-identity of the emitted ops.
+        assert_eq!(got.len(), expected.len());
+        assert_eq!(
+            format!("{got:?}"),
+            format!("{expected:?}"),
+            "prewarmed lowering must be bit-identical to serial lowering"
+        );
+    }
+
+    #[test]
+    fn prewarm_with_one_thread_is_a_no_op() {
+        use nsb_circuit::generators;
+        use nsb_device::{BasisStrategy, DeviceConfig};
+        let device = Device::build(3, 2, DeviceConfig::fast_test()).expect("test device");
+        let logical = generators::qft(3, true);
+        let routed =
+            crate::sabre_route(&logical, device.topology(), &crate::SabreConfig::default())
+                .expect("route");
+        let mut lowerer = Lowerer::new(&device, BasisStrategy::Baseline, LoweringMode::Direct);
+        lowerer.prewarm(&routed.circuit, 1);
+        assert_eq!(lowerer.cache_size(), 0, "threads <= 1 must not synthesize");
     }
 
     #[test]

@@ -208,6 +208,46 @@ impl DMat {
         out
     }
 
+    /// Writes `self * rhs` into `out` without allocating.
+    ///
+    /// `out` is fully overwritten; its previous contents only matter for
+    /// shape. The loop is bit-identical to `&self * &rhs`, so hot paths can
+    /// ping-pong between two scratch matrices and still reproduce the
+    /// allocating product exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions are incompatible or `out` has the wrong shape.
+    pub fn mul_into(&self, rhs: &DMat, out: &mut DMat) {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matmul");
+        assert_eq!(out.rows, self.rows, "output row mismatch in mul_into");
+        assert_eq!(out.cols, rhs.cols, "output col mismatch in mul_into");
+        out.data.fill(Complex64::ZERO);
+        // ikj loop order for cache friendliness (matches `Mul for &DMat`).
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == Complex64::ZERO {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += aik * *b;
+                }
+            }
+        }
+    }
+
+    /// Copies `src` into `self`, reusing the existing allocation when the
+    /// element counts match.
+    pub fn copy_from(&mut self, src: &DMat) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Solves `self * X = B` by Gaussian elimination with partial pivoting.
     ///
     /// # Errors
@@ -362,22 +402,8 @@ impl Sub for &DMat {
 impl Mul for &DMat {
     type Output = DMat;
     fn mul(self, rhs: &DMat) -> DMat {
-        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matmul");
         let mut out = DMat::zeros(self.rows, rhs.cols);
-        // ikj loop order for cache friendliness.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == Complex64::ZERO {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += aik * *b;
-                }
-            }
-        }
+        self.mul_into(rhs, &mut out);
         out
     }
 }
@@ -499,5 +525,35 @@ mod tests {
         let got = a.mul_vec(&v);
         assert!(got[0].approx_eq(Complex64::new(1.0, -1.0), 1e-14));
         assert!(got[1].approx_eq(Complex64::new(0.0, -1.0), 1e-14));
+    }
+
+    #[test]
+    fn mul_into_is_bit_identical_to_mul_and_reuses_storage() {
+        let a = DMat::from_vec(
+            2,
+            3,
+            (0..6)
+                .map(|k| Complex64::new(k as f64 * 0.3, 1.0 - k as f64))
+                .collect(),
+        );
+        let b = DMat::from_vec(
+            3,
+            2,
+            (0..6)
+                .map(|k| Complex64::new((k as f64).sin(), 0.25 * k as f64))
+                .collect(),
+        );
+        let expected = &a * &b;
+        // Pre-fill out with garbage to prove it is fully overwritten.
+        let mut out = DMat::from_vec(2, 2, vec![Complex64::real(9.0); 4]);
+        a.mul_into(&b, &mut out);
+        for (x, y) in out.as_slice().iter().zip(expected.as_slice()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+
+        let mut copy = DMat::zeros(2, 2);
+        copy.copy_from(&expected);
+        assert!(copy.approx_eq(&expected, 0.0));
     }
 }

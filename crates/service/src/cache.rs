@@ -7,14 +7,21 @@
 //! bit-identical to a fresh synthesis. Sharding keeps lock contention low
 //! when many workers compile concurrently: each key hashes to one shard
 //! with its own mutex and its own LRU clock.
+//!
+//! The cache overrides [`SynthCache::get_or_compute`] with **single-flight
+//! miss coalescing**: the first thread to miss on a `(key, fingerprint)`
+//! registers it as in-flight and synthesizes outside the shard lock; later
+//! threads missing on the same pair block on the shard's condvar and reuse
+//! the published result, so each decomposition is computed exactly once no
+//! matter how many workers race to it.
 
 use crate::metrics::ServiceMetrics;
-use nsb_synth::{SynthCache, SynthKey, Synthesized2Q};
+use nsb_synth::{SynthCache, SynthKey, SynthesisFailed, Synthesized2Q};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Recovers the guard from a poisoned shard lock: shard updates never
 /// panic mid-mutation (plain map/counter writes), so the data is intact.
@@ -31,6 +38,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that found nothing (or a fingerprint mismatch).
     pub misses: u64,
+    /// Misses that waited for another thread's in-flight synthesis
+    /// instead of recomputing (single-flight coalescing).
+    pub coalesced: u64,
     /// Entries currently stored across all shards.
     pub entries: usize,
 }
@@ -46,14 +56,43 @@ struct Entry {
 struct Shard {
     map: HashMap<SynthKey, Entry>,
     clock: u64,
+    /// `(key, fingerprint)` pairs some thread is currently synthesizing.
+    inflight: HashSet<(SynthKey, u64)>,
+}
+
+/// One shard: its state plus the condvar single-flight waiters block on.
+#[derive(Default)]
+struct ShardLock {
+    state: Mutex<Shard>,
+    flights: Condvar,
+}
+
+/// Removes an in-flight registration (and wakes waiters) even if the
+/// computing closure panics, so no waiter blocks forever.
+struct InflightGuard<'a> {
+    shard: &'a ShardLock,
+    pair: (SynthKey, u64),
+    armed: bool,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut state = relock(self.shard.state.lock());
+            state.inflight.remove(&self.pair);
+            drop(state);
+            self.shard.flights.notify_all();
+        }
+    }
 }
 
 /// A thread-safe LRU synthesis cache shared by all service workers.
 pub struct SharedSynthCache {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<ShardLock>,
     capacity_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
     metrics: Option<Arc<ServiceMetrics>>,
 }
 
@@ -73,12 +112,11 @@ impl SharedSynthCache {
     /// [`MIN_CAPACITY`](Self::MIN_CAPACITY), i.e. one entry per shard).
     pub fn new(capacity: usize) -> Self {
         SharedSynthCache {
-            shards: (0..Self::SHARDS)
-                .map(|_| Mutex::new(Shard::default()))
-                .collect(),
+            shards: (0..Self::SHARDS).map(|_| ShardLock::default()).collect(),
             capacity_per_shard: capacity.max(Self::MIN_CAPACITY).div_ceil(Self::SHARDS),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             metrics: None,
         }
     }
@@ -91,7 +129,7 @@ impl SharedSynthCache {
     pub fn export_entries(&self) -> Vec<(SynthKey, u64, Synthesized2Q)> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            let shard = relock(shard.lock());
+            let shard = relock(shard.state.lock());
             out.extend(
                 shard
                     .map
@@ -131,11 +169,16 @@ impl SharedSynthCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.shards.iter().map(|s| relock(s.lock()).map.len()).sum(),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| relock(s.state.lock()).map.len())
+                .sum(),
         }
     }
 
-    fn shard_of(&self, key: &SynthKey) -> &Mutex<Shard> {
+    fn shard_of(&self, key: &SynthKey) -> &ShardLock {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % self.shards.len()]
@@ -152,27 +195,22 @@ impl SharedSynthCache {
             counter.fetch_add(1, Ordering::Relaxed);
         }
     }
-}
 
-impl SynthCache for SharedSynthCache {
-    fn lookup(&self, key: &SynthKey, target_fp: u64) -> Option<Synthesized2Q> {
-        let mut shard = relock(self.shard_of(key).lock());
-        shard.clock += 1;
-        let clock = shard.clock;
-        let found = match shard.map.get_mut(key) {
-            Some(entry) if entry.target_fp == target_fp => {
-                entry.last_used = clock;
-                Some(entry.value.clone())
-            }
-            _ => None,
-        };
-        drop(shard);
-        self.record(found.is_some());
-        found
+    fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.coalesced_misses.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    fn store(&self, key: SynthKey, target_fp: u64, value: &Synthesized2Q) {
-        let mut shard = relock(self.shard_of(&key).lock());
+    /// Inserts under an already-held shard lock, evicting past capacity.
+    fn insert_locked(
+        &self,
+        shard: &mut Shard,
+        key: SynthKey,
+        target_fp: u64,
+        value: &Synthesized2Q,
+    ) {
         shard.clock += 1;
         let clock = shard.clock;
         shard.map.insert(
@@ -197,6 +235,97 @@ impl SynthCache for SharedSynthCache {
             };
             shard.map.remove(&oldest);
         }
+    }
+}
+
+impl SynthCache for SharedSynthCache {
+    fn lookup(&self, key: &SynthKey, target_fp: u64) -> Option<Synthesized2Q> {
+        let mut shard = relock(self.shard_of(key).state.lock());
+        shard.clock += 1;
+        let clock = shard.clock;
+        let found = match shard.map.get_mut(key) {
+            Some(entry) if entry.target_fp == target_fp => {
+                entry.last_used = clock;
+                Some(entry.value.clone())
+            }
+            _ => None,
+        };
+        drop(shard);
+        self.record(found.is_some());
+        found
+    }
+
+    fn store(&self, key: SynthKey, target_fp: u64, value: &Synthesized2Q) {
+        let shard_lock = self.shard_of(&key);
+        let mut shard = relock(shard_lock.state.lock());
+        self.insert_locked(&mut shard, key, target_fp, value);
+    }
+
+    /// Single-flight implementation: each `(key, fingerprint)` pair is
+    /// synthesized by exactly one thread at a time; racing threads block
+    /// on the shard condvar and reuse the published value.
+    ///
+    /// Accounting: every call records exactly one hit or miss — a hit
+    /// when the value came out of the cache (immediately or after
+    /// waiting), a miss when this call ran `compute`. Calls that waited
+    /// additionally bump the `coalesced` counter once.
+    ///
+    /// Failed computations are not cached: all waiters of a failed
+    /// flight wake, and the first to re-check becomes the next computer,
+    /// so a transient failure cannot poison the key. Likewise, a value
+    /// evicted between publication and wake-up is simply recomputed.
+    fn get_or_compute(
+        &self,
+        key: SynthKey,
+        target_fp: u64,
+        compute: &mut dyn FnMut() -> Result<Synthesized2Q, SynthesisFailed>,
+    ) -> Result<Synthesized2Q, SynthesisFailed> {
+        let shard_lock = self.shard_of(&key);
+        let pair = (key, target_fp);
+        let mut waited = false;
+        let mut shard = relock(shard_lock.state.lock());
+        loop {
+            shard.clock += 1;
+            let clock = shard.clock;
+            if let Some(entry) = shard.map.get_mut(&key) {
+                if entry.target_fp == target_fp {
+                    entry.last_used = clock;
+                    let value = entry.value.clone();
+                    drop(shard);
+                    self.record(true);
+                    return Ok(value);
+                }
+            }
+            if shard.inflight.contains(&pair) {
+                if !waited {
+                    waited = true;
+                    self.record_coalesced();
+                }
+                shard = relock(shard_lock.flights.wait(shard));
+                continue;
+            }
+            shard.inflight.insert(pair);
+            break;
+        }
+        drop(shard);
+        self.record(false);
+        // Synthesize outside the lock; the guard unregisters the flight
+        // and wakes waiters even on panic.
+        let mut flight = InflightGuard {
+            shard: shard_lock,
+            pair,
+            armed: true,
+        };
+        let result = compute();
+        let mut shard = relock(shard_lock.state.lock());
+        shard.inflight.remove(&pair);
+        flight.armed = false;
+        if let Ok(value) = &result {
+            self.insert_locked(&mut shard, key, target_fp, value);
+        }
+        drop(shard);
+        shard_lock.flights.notify_all();
+        result
     }
 }
 
@@ -317,6 +446,87 @@ mod tests {
         stats.preload(cache.export_entries());
         let s = stats.stats();
         assert_eq!((s.hits, s.misses), (0, 0));
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_misses() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+        use std::time::Duration;
+
+        const THREADS: usize = 4;
+        let metrics = Arc::new(ServiceMetrics::default());
+        let cache = SharedSynthCache::new(64).with_metrics(metrics.clone());
+        let v = sample();
+        let computes = AtomicUsize::new(0);
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    barrier.wait();
+                    let got = cache
+                        .get_or_compute(key(7), 42, &mut || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough that every
+                            // other thread arrives while it is in progress.
+                            std::thread::sleep(Duration::from_millis(200));
+                            Ok(v.clone())
+                        })
+                        .unwrap();
+                    assert_eq!(got.layers, v.layers);
+                });
+            }
+        });
+        assert_eq!(
+            computes.load(Ordering::SeqCst),
+            1,
+            "exactly one thread must synthesize"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.coalesced, (THREADS - 1) as u64);
+        assert_eq!((stats.hits, stats.misses), ((THREADS - 1) as u64, 1));
+        assert_eq!(
+            metrics.coalesced_misses.load(Ordering::Relaxed),
+            (THREADS - 1) as u64,
+            "coalesced misses must mirror into service metrics"
+        );
+    }
+
+    #[test]
+    fn failed_flight_is_not_cached_and_wakes_waiters() {
+        let cache = SharedSynthCache::new(64);
+        let v = sample();
+        let err = SynthesisFailed {
+            best_error: 1.0,
+            max_layers: 2,
+        };
+        let failed = cache.get_or_compute(key(9), 5, &mut || Err(err.clone()));
+        assert!(failed.is_err());
+        assert!(
+            cache.lookup(&key(9), 5).is_none(),
+            "failures must not be cached"
+        );
+        // The key is immediately available for the next computer.
+        let ok = cache
+            .get_or_compute(key(9), 5, &mut || Ok(v.clone()))
+            .unwrap();
+        assert_eq!(ok.layers, v.layers);
+        assert!(cache.lookup(&key(9), 5).is_some());
+    }
+
+    #[test]
+    fn get_or_compute_hit_skips_compute() {
+        let cache = SharedSynthCache::new(64);
+        let v = sample();
+        cache.store(key(4), 8, &v);
+        let got = cache
+            .get_or_compute(key(4), 8, &mut || {
+                panic!("must not compute on a hit");
+            })
+            .unwrap();
+        assert_eq!(got.layers, v.layers);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.coalesced), (1, 0));
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct ServiceMetrics {
     pub cache_hits: AtomicU64,
     /// Shared-cache misses (mirrored from the cache).
     pub cache_misses: AtomicU64,
+    /// Shared-cache misses that were coalesced onto another thread's
+    /// in-flight synthesis instead of recomputing (mirrored from the
+    /// cache's single-flight path).
+    pub coalesced_misses: AtomicU64,
     /// Total nanoseconds spent in SABRE routing.
     pub route_nanos: AtomicU64,
     /// Total nanoseconds spent lowering (includes synthesis).
@@ -75,7 +79,7 @@ impl ServiceMetrics {
             "service metrics\n\
              \x20 jobs: {} submitted, {} completed, {} failed, {} timed out, {} canceled\n\
              \x20 queue depth: {}\n\
-             \x20 cache: {} hits, {} misses ({:.1}% hit rate)\n\
+             \x20 cache: {} hits, {} misses ({:.1}% hit rate), {} coalesced\n\
              \x20 verification: {} jobs verified ({} sampled), {} violations\n\
              \x20 stage latency sums: route {:.1} ms, lower {:.1} ms, schedule {:.1} ms, \
              verify {:.1} ms",
@@ -88,6 +92,7 @@ impl ServiceMetrics {
             load(&self.cache_hits),
             load(&self.cache_misses),
             100.0 * self.cache_hit_rate(),
+            load(&self.coalesced_misses),
             load(&self.jobs_verified),
             load(&self.jobs_verify_sampled),
             load(&self.verification_violations),

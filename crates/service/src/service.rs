@@ -35,6 +35,16 @@ pub struct ServiceConfig {
     /// verifying every job is too expensive. `Some(1)` verifies
     /// everything; `None` (the default) samples nothing.
     pub verify_sample: Option<NonZeroU64>,
+    /// Threads a single job may fan out to while lowering: the worker
+    /// prewarms its synthesis cache by decomposing a circuit's distinct
+    /// two-qubit targets in parallel before the (still serial, still
+    /// bit-identical) lowering pass. `1` (the default) keeps lowering
+    /// fully serial; values above the machine's available parallelism
+    /// are clamped down to it; `0` is rejected at
+    /// [`CompileService::new`] with [`ServiceError::InvalidConfig`] —
+    /// mirroring how [`SharedSynthCache`] clamps a zero capacity rather
+    /// than panicking deep in a worker.
+    pub intra_job_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -47,6 +57,7 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             cache_capacity: 4096,
             verify_sample: None,
+            intra_job_threads: 1,
         }
     }
 }
@@ -99,8 +110,22 @@ impl CompileService {
     ///
     /// [`ServiceError::WorkerSpawn`] when the operating system refuses to
     /// start a worker thread; any workers already started are joined
-    /// before returning.
+    /// before returning. [`ServiceError::InvalidConfig`] when
+    /// `config.intra_job_threads` is `0` — there is no sensible meaning
+    /// for "zero threads", so the service refuses to start rather than
+    /// silently reinterpreting it.
     pub fn new(device: Device, config: ServiceConfig) -> Result<Self, ServiceError> {
+        if config.intra_job_threads == 0 {
+            return Err(ServiceError::InvalidConfig {
+                field: "intra_job_threads",
+                reason: "must be at least 1 (1 = serial lowering)",
+            });
+        }
+        let intra_job_threads = config.intra_job_threads.min(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        );
         let device = Arc::new(device);
         let metrics = Arc::new(ServiceMetrics::default());
         let cache =
@@ -121,7 +146,14 @@ impl CompileService {
             let spawned = std::thread::Builder::new()
                 .name(format!("nsb-service-worker-{i}"))
                 .spawn(move || {
-                    worker_loop(&device, &queue_for_worker, &cache, &metrics, &sampling)
+                    worker_loop(
+                        &device,
+                        &queue_for_worker,
+                        &cache,
+                        &metrics,
+                        &sampling,
+                        intra_job_threads,
+                    )
                 });
             match spawned {
                 Ok(handle) => workers.push(handle),
@@ -276,10 +308,18 @@ fn worker_loop(
     cache: &Arc<SharedSynthCache>,
     metrics: &ServiceMetrics,
     sampling: &SampleState,
+    intra_job_threads: usize,
 ) {
     while let Some(job) = queue.pop() {
         metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        let outcome = run_job(device, cache, metrics, &job, sampling.pick());
+        let outcome = run_job(
+            device,
+            cache,
+            metrics,
+            &job,
+            sampling.pick(),
+            intra_job_threads,
+        );
         match &outcome {
             Ok(_) => metrics.jobs_completed.fetch_add(1, Ordering::Relaxed),
             Err(ServiceError::Canceled) => metrics.jobs_canceled.fetch_add(1, Ordering::Relaxed),
@@ -317,6 +357,7 @@ fn run_job(
     metrics: &ServiceMetrics,
     job: &Job,
     sampled: bool,
+    intra_job_threads: usize,
 ) -> Result<JobOutput, ServiceError> {
     abort_check(job, "queued")?;
 
@@ -337,6 +378,11 @@ fn run_job(
         .unwrap_or_else(|| default_mode(job.spec.strategy));
     let mut lowerer = Lowerer::new(device, job.spec.strategy, mode)
         .with_shared_cache(cache.clone() as Arc<dyn SynthCache>);
+    // Prewarm fans the circuit's distinct synthesis targets across a
+    // scoped thread pool; the serial `lower` below then hits the cache on
+    // every one of them, so its output is bit-identical to a fully
+    // serial lowering regardless of `intra_job_threads`.
+    lowerer.prewarm(&routed.circuit, intra_job_threads);
     let lowered = lowerer.lower(&routed.circuit);
     metrics.record_stage(Stage::Lower, started.elapsed());
     let ops = lowered.map_err(|e| ServiceError::Compile(e.into()))?;
@@ -424,6 +470,77 @@ mod tests {
         assert_eq!(compiled.ops.len(), expected.ops.len());
         assert_eq!(compiled.fidelity.to_bits(), expected.fidelity.to_bits());
         assert_eq!(service.metrics().jobs_completed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn zero_intra_job_threads_is_rejected_not_panicked() {
+        let config = ServiceConfig {
+            intra_job_threads: 0,
+            ..small_config()
+        };
+        match CompileService::new(test_device(), config) {
+            Err(ServiceError::InvalidConfig { field, .. }) => {
+                assert_eq!(field, "intra_job_threads");
+            }
+            Ok(_) => panic!("zero intra_job_threads must be rejected"),
+            Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_intra_job_threads_is_clamped_and_works() {
+        // Far above any machine's parallelism; `new` clamps rather than
+        // erroring, and jobs still compile.
+        let config = ServiceConfig {
+            intra_job_threads: 1 << 20,
+            ..small_config()
+        };
+        let service = CompileService::new(test_device(), config).expect("service");
+        let handle = service
+            .submit(JobSpec::new(generators::ghz(4), BasisStrategy::Baseline))
+            .expect("submit");
+        handle.wait().expect("clamped service still compiles");
+    }
+
+    #[test]
+    fn intra_job_parallelism_is_bit_identical_and_verified() {
+        use nsb_compiler::VerifyLevel;
+        let logical = generators::qft(5, true);
+        let mut outputs = Vec::new();
+        for threads in [1usize, 4] {
+            let config = ServiceConfig {
+                intra_job_threads: threads,
+                ..small_config()
+            };
+            let service = CompileService::new(test_device(), config).expect("service");
+            let handle = service
+                .submit(
+                    JobSpec::new(logical.clone(), BasisStrategy::Baseline)
+                        .with_mode(nsb_compiler::LoweringMode::Direct)
+                        .with_verification(VerifyLevel::Full),
+                )
+                .expect("submit");
+            let output = handle.wait_full().expect("verified compile");
+            let report = output.verify.as_ref().expect("full verification report");
+            assert!(
+                report.is_clean(),
+                "verification must stay clean at {threads} threads"
+            );
+            outputs.push(output);
+        }
+        let serial = &outputs[0];
+        let fanned = &outputs[1];
+        assert_eq!(
+            serial.circuit.fidelity.to_bits(),
+            fanned.circuit.fidelity.to_bits()
+        );
+        // Debug output round-trips f64 bit patterns, so string equality
+        // is bit-identity of the compiled ops.
+        assert_eq!(
+            format!("{:?}", serial.circuit.ops),
+            format!("{:?}", fanned.circuit.ops),
+            "compiled circuit must not depend on intra_job_threads"
+        );
     }
 
     #[test]
@@ -585,6 +702,7 @@ mod tests {
                 queue_capacity: 16,
                 cache_capacity: 256,
                 verify_sample: NonZeroU64::new(2),
+                ..ServiceConfig::default()
             },
         )
         .expect("service");

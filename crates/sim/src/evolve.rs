@@ -12,6 +12,12 @@
 //! diagonal scale plus one dense matmul (the two half-steps of consecutive
 //! steps are merged). Local error is O(dt^3).
 //!
+//! Only the projected gate `P^dagger U P` is ever observed, so the
+//! integrator evolves the `dim x 4` block `Y = U P` (with `P` the dressed
+//! computational basis columns) instead of the full propagator: each step's
+//! matmul shrinks by `dim / 4`, and all step storage is preallocated and
+//! ping-ponged via [`DMat::mul_into`] so the hot loop is allocation-free.
+//!
 //! The drive uses a flat-top envelope with `sin^2` rise/fall of
 //! [`DriveParams::ramp`] ns: the rise is part of the shared prefix
 //! evolution, and each sampled gate gets its own short fall segment, so a
@@ -41,52 +47,90 @@ pub struct GateSnapshot {
 }
 
 /// Precomputed stepping machinery for one unit cell.
-struct Stepper<'a> {
-    h: &'a UnitCellHamiltonian,
+struct Stepper {
     e_half: DMat,
     e_full: DMat,
     dt: f64,
+    /// Row -> index into `nc_values` for the diagonal drive operator.
+    nc_index: Vec<usize>,
+    /// The few distinct values on the `N_c` diagonal (one per coupler
+    /// level), so per-step phases are computed once per value, not per row.
+    nc_values: Vec<f64>,
 }
 
-impl<'a> Stepper<'a> {
-    fn new(h: &'a UnitCellHamiltonian, dt: f64) -> Self {
+impl Stepper {
+    fn new(h: &UnitCellHamiltonian, dt: f64) -> Self {
         let e_half = expm_i_h_t(&h.h_static, dt / 2.0);
         let e_full = &e_half * &e_half;
+        let mut nc_values: Vec<f64> = Vec::new();
+        let mut nc_index = Vec::with_capacity(h.dim);
+        for r in 0..h.dim {
+            let nc = h.n_c[(r, r)].re;
+            let idx = match nc_values.iter().position(|&v| v == nc) {
+                Some(i) => i,
+                None => {
+                    nc_values.push(nc);
+                    nc_values.len() - 1
+                }
+            };
+            nc_index.push(idx);
+        }
         Stepper {
-            h,
             e_half,
             e_full,
             dt,
+            nc_index,
+            nc_values,
         }
     }
 
-    /// Advances `u` by `steps` Strang steps starting at time `*t`, with the
-    /// drive strength given by `s_of_t`.
-    fn advance(&self, t: &mut f64, u: DMat, steps: usize, s_of_t: impl Fn(f64) -> f64) -> DMat {
+    /// Advances the block `u` in place by `steps` Strang steps starting at
+    /// time `*t`, with the drive strength given by `s_of_t`.
+    ///
+    /// `u` may have any number of columns (the full propagator or a
+    /// projected block); `scratch` must have the same shape. The step loop
+    /// allocates nothing: matmuls ping-pong between `u` and `scratch`.
+    fn advance(
+        &self,
+        t: &mut f64,
+        u: &mut DMat,
+        scratch: &mut DMat,
+        phases: &mut [Complex64],
+        steps: usize,
+        s_of_t: impl Fn(f64) -> f64,
+    ) {
         if steps == 0 {
-            return u;
+            return;
         }
-        let dim = u.rows();
+        assert_eq!(phases.len(), self.nc_values.len());
         let dt = self.dt;
-        let mut acc = &self.e_half * &u;
+        let cols = u.cols();
+        self.e_half.mul_into(u, scratch);
+        std::mem::swap(u, scratch);
         for k in 0..steps {
             let tm = *t + (k as f64 + 0.5) * dt;
             let s = s_of_t(tm);
-            for r in 0..dim {
-                let nc = self.h.n_c[(r, r)].re;
-                let phase = Complex64::cis(-s * nc * dt);
-                for c in 0..dim {
-                    acc[(r, c)] *= phase;
+            for (slot, &v) in phases.iter_mut().zip(&self.nc_values) {
+                *slot = Complex64::cis(-s * v * dt);
+            }
+            for (r, &idx) in self.nc_index.iter().enumerate() {
+                if self.nc_values[idx] == 0.0 {
+                    continue;
+                }
+                let phase = phases[idx];
+                for c in 0..cols {
+                    u[(r, c)] *= phase;
                 }
             }
-            if k + 1 < steps {
-                acc = &self.e_full * &acc;
+            let step_op = if k + 1 < steps {
+                &self.e_full
             } else {
-                acc = &self.e_half * &acc;
-            }
+                &self.e_half
+            };
+            step_op.mul_into(u, scratch);
+            std::mem::swap(u, scratch);
         }
         *t += steps as f64 * dt;
-        acc
     }
 }
 
@@ -109,34 +153,54 @@ pub fn evolve_and_sample(
     let n_samples = (t_max / sample_every).round() as usize;
     let fall_steps = (drive.ramp / dt).round() as usize;
     let rise = |tm: f64| drive.delta * drive.rise_envelope(tm) * (drive.omega_d * tm).sin();
-    let mut u = DMat::identity(h.dim);
+    // Evolve the projected block Y = U P; all step storage lives here and
+    // is reused across samples.
+    let mut y = frame.basis_columns();
+    let mut scratch = DMat::zeros(h.dim, 4);
+    let mut fall_y = DMat::zeros(h.dim, 4);
+    let mut phases = vec![Complex64::ZERO; stepper.nc_values.len()];
     let mut snapshots = Vec::with_capacity(n_samples);
     let mut t = 0.0f64;
     for _ in 0..n_samples {
-        u = stepper.advance(&mut t, u, steps_per_sample, rise);
+        stepper.advance(
+            &mut t,
+            &mut y,
+            &mut scratch,
+            &mut phases,
+            steps_per_sample,
+            rise,
+        );
+        let total_t = t + if fall_steps > 0 { drive.ramp } else { 0.0 };
         // Append the envelope fall: the pulse for THIS gate candidate ends
         // here, ramping the drive down over `ramp` ns, phase-continuous
         // with the shared flat-top prefix evolution.
-        let gate_u = if fall_steps > 0 {
+        if fall_steps > 0 {
             let t_flat_end = t;
             let fall = |tm: f64| {
                 let tau = tm - t_flat_end;
                 let env = drive.rise_envelope(drive.ramp - tau);
                 drive.delta * env * (drive.omega_d * tm).sin()
             };
+            fall_y.copy_from(&y);
             let mut t_local = t_flat_end;
-            stepper.advance(&mut t_local, u.clone(), fall_steps, fall)
+            stepper.advance(
+                &mut t_local,
+                &mut fall_y,
+                &mut scratch,
+                &mut phases,
+                fall_steps,
+                fall,
+            );
+            snapshots.push(snapshot_cols(frame, &fall_y, total_t));
         } else {
-            u.clone()
-        };
-        let total_t = t + if fall_steps > 0 { drive.ramp } else { 0.0 };
-        snapshots.push(snapshot(frame, &gate_u, total_t));
+            snapshots.push(snapshot_cols(frame, &y, total_t));
+        }
     }
     snapshots
 }
 
-fn snapshot(frame: &DressedFrame, u: &DMat, t: f64) -> GateSnapshot {
-    let raw = frame.project(u);
+fn snapshot_cols(frame: &DressedFrame, y: &DMat, t: f64) -> GateSnapshot {
+    let raw = frame.project_cols(y);
     let norm2 = raw.norm() * raw.norm();
     let leakage = (1.0 - norm2 / 4.0).max(0.0);
     // Rotating frame: remove the dressed single-qubit phase evolution.
@@ -235,7 +299,7 @@ mod tests {
             let hm = h.at_time(drive.delta, drive.omega_d, tm);
             u = &expm_i_h_t(&hm, dt) * &u;
         }
-        let brute = snapshot(&f, &u, t_end);
+        let brute = snapshot_cols(&f, &(&u * &f.basis_columns()), t_end);
         assert!(
             snaps[0].gate.phase_distance(&brute.gate) < 1e-3,
             "splitting deviates: {}",

@@ -154,6 +154,33 @@ pub trait SynthCache: Send + Sync {
 
     /// Stores a synthesis result for `key`.
     fn store(&self, key: SynthKey, target_fp: u64, value: &Synthesized2Q);
+
+    /// Returns the cached value for `(key, target_fp)` or computes and
+    /// stores it.
+    ///
+    /// The default implementation is plain lookup-compute-store. Concurrent
+    /// implementations may override it with **single-flight** semantics:
+    /// when several threads miss on the same entry simultaneously, exactly
+    /// one runs `compute` and the rest block until the value is published.
+    /// Errors are never cached — every waiter observing a failed flight
+    /// retries (and may become the next computer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error returned by `compute`.
+    fn get_or_compute(
+        &self,
+        key: SynthKey,
+        target_fp: u64,
+        compute: &mut dyn FnMut() -> Result<Synthesized2Q, SynthesisFailed>,
+    ) -> Result<Synthesized2Q, SynthesisFailed> {
+        if let Some(hit) = self.lookup(&key, target_fp) {
+            return Ok(hit);
+        }
+        let fresh = compute()?;
+        self.store(key, target_fp, &fresh);
+        Ok(fresh)
+    }
 }
 
 /// A [`SynthCache`] that never stores anything (useful as a default and
@@ -205,12 +232,7 @@ impl Decomposer {
         cache: &dyn SynthCache,
     ) -> Result<Synthesized2Q, SynthesisFailed> {
         let (key, fp) = self.synth_key(target, tag);
-        if let Some(hit) = cache.lookup(&key, fp) {
-            return Ok(hit);
-        }
-        let fresh = self.decompose(target)?;
-        cache.store(key, fp, &fresh);
-        Ok(fresh)
+        cache.get_or_compute(key, fp, &mut || self.decompose(target))
     }
 }
 

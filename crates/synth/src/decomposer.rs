@@ -8,7 +8,9 @@
 //! (see the `synthesis` Criterion bench).
 
 use crate::ansatz::Synthesized2Q;
-use crate::optimizer::{optimize_with_restarts, OptimizerConfig};
+use crate::optimizer::{
+    optimize_with_restarts, optimize_with_restarts_ws, OptimizerConfig, Workspace,
+};
 use nsb_math::Mat4;
 use nsb_weyl::{can_cnot_in_2, kak_vector, min_layers_for_swap, WeylCoord};
 use rand::rngs::StdRng;
@@ -176,15 +178,27 @@ impl Decomposer {
         target: &Mat4,
         layers: usize,
     ) -> Result<Synthesized2Q, SynthesisFailed> {
+        self.decompose_exact_layers_ws(target, layers, &mut Workspace::new())
+    }
+
+    /// [`Decomposer::decompose_exact_layers`] with caller-owned optimizer
+    /// scratch, so a layer search reuses one set of buffers throughout.
+    fn decompose_exact_layers_ws(
+        &self,
+        target: &Mat4,
+        layers: usize,
+        ws: &mut Workspace,
+    ) -> Result<Synthesized2Q, SynthesisFailed> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let bases = vec![self.basis; layers];
-        let run = optimize_with_restarts(
+        let run = optimize_with_restarts_ws(
             target,
             &bases,
             self.config.restarts,
             1.0 - self.config.tol / 5.0,
             &OptimizerConfig::default(),
             &mut rng,
+            ws,
         );
         let result = finish(target, run.locals, layers, &bases);
         if result.error <= self.config.tol {
@@ -203,8 +217,9 @@ impl Decomposer {
         start_layers: usize,
     ) -> Result<Synthesized2Q, SynthesisFailed> {
         let mut best_error = f64::INFINITY;
+        let mut ws = Workspace::new();
         for layers in start_layers..=self.config.max_layers {
-            match self.decompose_exact_layers(target, layers) {
+            match self.decompose_exact_layers_ws(target, layers, &mut ws) {
                 Ok(result) => return Ok(result),
                 Err(e) => best_error = best_error.min(e.best_error),
             }

@@ -50,6 +50,50 @@ pub struct RunResult {
     pub overlap: f64,
 }
 
+/// Reusable scratch buffers for the alternating optimizer.
+///
+/// One `Workspace` threaded through a restart/basin-hopping search makes
+/// the inner loop allocation-free: candidate and best locals live in
+/// resizable buffers, and the per-sweep suffix products reuse one `Vec`.
+/// A capacity-growth counter backs debug assertions that the buffers stop
+/// growing after the first restart warms them up.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Current-attempt (and polish-kick) locals.
+    cand: Vec<(Mat2, Mat2)>,
+    /// Best locals found so far.
+    best: Vec<(Mat2, Mat2)>,
+    /// Per-layer suffix products `A_k`, rebuilt each sweep.
+    suffix: Vec<Mat4>,
+    /// Times any buffer had to grow its capacity.
+    grows: usize,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Number of buffer capacity growths so far. After the first restart of
+    /// a search has warmed the buffers, this must stay constant — the
+    /// restart loop debug-asserts exactly that.
+    pub fn grows(&self) -> usize {
+        self.grows
+    }
+
+    /// Sizes every buffer for an `n`-local ansatz, counting capacity growth.
+    fn prepare(&mut self, n: usize) {
+        if self.cand.capacity() < n || self.best.capacity() < n || self.suffix.capacity() < n {
+            self.grows += 1;
+        }
+        let id = (Mat2::identity(), Mat2::identity());
+        self.cand.resize(n, id);
+        self.best.resize(n, id);
+        self.suffix.resize(n, Mat4::identity());
+    }
+}
+
 /// Optimizes the locals for `target` over the fixed per-layer `bases`,
 /// starting from the supplied initial locals.
 pub fn optimize_locals(
@@ -60,31 +104,53 @@ pub fn optimize_locals(
 ) -> RunResult {
     assert_eq!(locals.len(), bases.len() + 1, "ansatz shape mismatch");
     let t_dag = target.adjoint();
+    let mut suffix = vec![Mat4::identity(); locals.len()];
+    let overlap = optimize_slice(&t_dag, bases, &mut locals, &mut suffix, config);
+    RunResult { locals, overlap }
+}
+
+/// Core alternating sweep working entirely in caller-provided storage.
+///
+/// Each sweep builds the suffix products `A_k` once (right-to-left) and
+/// grows the prefix `C_k` incrementally as factors are updated, instead of
+/// rebuilding both from scratch for every `k` — ~`n(2n+1)` matmuls per
+/// sweep drop to ~`7n`. Returns the achieved overlap in `[0, 1]`.
+fn optimize_slice(
+    t_dag: &Mat4,
+    bases: &[Mat4],
+    locals: &mut [(Mat2, Mat2)],
+    suffix: &mut [Mat4],
+    config: &OptimizerConfig,
+) -> f64 {
     let n = locals.len();
-    let mut prev = objective(&t_dag, &locals, bases);
+    debug_assert_eq!(n, bases.len() + 1, "ansatz shape mismatch");
+    debug_assert_eq!(suffix.len(), n, "suffix buffer shape mismatch");
+    let mut prev = objective(t_dag, locals, bases);
     let mut stalled = 0usize;
     for _sweep in 0..config.max_sweeps {
+        // Suffix products from the sweep-entry locals:
+        // A_k = L_{n-1} B_{n-2} ... L_{k+1} (basis gates interleaved), so
+        // F_k = F_{k+1} B_{k+1} K_{k+1} with F_{n-1} = I.
+        suffix[n - 1] = Mat4::identity();
+        for k in (0..n - 1).rev() {
+            let mut f = Mat4::kron(&locals[k + 1].0, &locals[k + 1].1);
+            if k + 1 < n - 1 {
+                f = bases[k + 1] * f;
+            }
+            suffix[k] = suffix[k + 1] * f;
+        }
+        // Prefix C_k grows incrementally with the freshly updated factors.
+        let mut c = Mat4::identity();
+        let mut last_g = Mat4::identity();
         for k in 0..n {
-            // G_k = C_k T^dag A_k where W = A_k L_k C_k.
-            // C_k = B_k L_{k-1} ... L_0 (everything applied before L_k)
-            // A_k = L_n-1... (everything applied after L_k)
-            let mut c = Mat4::identity();
-            for j in 0..k {
-                c = Mat4::kron(&locals[j].0, &locals[j].1) * c;
-                c = bases[j] * c;
-            }
-            let mut a = Mat4::identity();
-            for j in (k + 1)..n {
-                a = Mat4::kron(&locals[j].0, &locals[j].1) * a;
-                if j < n - 1 {
-                    a = bases[j] * a;
-                }
-            }
-            // Wait: A_k must include the basis gate between L_k and L_{k+1}.
-            if k < n - 1 {
-                a = a * bases[k];
-            }
-            let g = c * t_dag * a;
+            // G_k = C_k T^dag A_k where W = A_k L_k C_k; A_k includes the
+            // basis gate between L_k and L_{k+1}.
+            let a = if k < n - 1 {
+                suffix[k] * bases[k]
+            } else {
+                suffix[k]
+            };
+            let g = c * *t_dag * a;
             // Update u then v with fresh environments; iterating the pair a
             // few times converges the local subproblem before moving on,
             // which measurably speeds up the global tail.
@@ -94,8 +160,18 @@ pub fn optimize_locals(
                 let e_v = env_v(&g, &locals[k].0);
                 locals[k].1 = max_trace_unitary(&e_v);
             }
+            if k + 1 < n {
+                c = Mat4::kron(&locals[k].0, &locals[k].1) * c;
+                c = bases[k] * c;
+            } else {
+                last_g = g;
+            }
         }
-        let cur = objective(&t_dag, &locals, bases);
+        // tr(T^dag W) = tr(K_{n-1} G_{n-1}) by cyclicity — no need to
+        // rebuild the full ansatz just to measure progress.
+        let cur = (Mat4::kron(&locals[n - 1].0, &locals[n - 1].1) * last_g)
+            .trace()
+            .abs();
         if 4.0 - cur < config.target_residual {
             prev = cur;
             break;
@@ -121,14 +197,14 @@ pub fn optimize_locals(
         }
         prev = prev.max(cur);
     }
-    RunResult {
-        locals,
-        overlap: prev / 4.0,
-    }
+    prev / 4.0
 }
 
 /// Runs the optimizer from `restarts` random starting points, returning the
 /// best result; stops early when `target_overlap` is reached.
+///
+/// Allocates a fresh [`Workspace`] per call; hot callers should hold one and
+/// use [`optimize_with_restarts_ws`] instead.
 pub fn optimize_with_restarts<R: Rng + ?Sized>(
     target: &Mat4,
     bases: &[Mat4],
@@ -137,44 +213,72 @@ pub fn optimize_with_restarts<R: Rng + ?Sized>(
     config: &OptimizerConfig,
     rng: &mut R,
 ) -> RunResult {
-    let mut best: Option<RunResult> = None;
+    let mut ws = Workspace::new();
+    optimize_with_restarts_ws(
+        target,
+        bases,
+        restarts,
+        target_overlap,
+        config,
+        rng,
+        &mut ws,
+    )
+}
+
+/// [`optimize_with_restarts`] with caller-owned scratch: every restart and
+/// polish kick reuses the workspace buffers, so after the first restart the
+/// search performs no allocations (debug-asserted via [`Workspace::grows`]).
+#[allow(clippy::too_many_arguments)] // same signature as optimize_with_restarts plus the scratch
+pub fn optimize_with_restarts_ws<R: Rng + ?Sized>(
+    target: &Mat4,
+    bases: &[Mat4],
+    restarts: usize,
+    target_overlap: f64,
+    config: &OptimizerConfig,
+    rng: &mut R,
+    ws: &mut Workspace,
+) -> RunResult {
+    let n = bases.len() + 1;
+    ws.prepare(n);
+    let t_dag = target.adjoint();
+    let mut best_overlap = f64::NEG_INFINITY;
+    let mut warm_grows: Option<usize> = None;
     for attempt in 0..restarts.max(1) {
-        let init: Vec<(Mat2, Mat2)> = (0..=bases.len())
-            .map(|k| {
-                if attempt == 0 && k == 0 {
-                    // First attempt starts from identity locals: cheap and
-                    // often already optimal for structured targets.
-                    (Mat2::identity(), Mat2::identity())
-                } else if attempt == 0 {
-                    (Mat2::identity(), Mat2::identity())
-                } else {
-                    (haar_su2(rng), haar_su2(rng))
-                }
-            })
-            .collect();
-        let run = optimize_locals(target, bases, init, config);
-        let better = match &best {
-            None => true,
-            Some(b) => run.overlap > b.overlap,
-        };
-        if better {
-            best = Some(run);
+        for pair in ws.cand.iter_mut() {
+            *pair = if attempt == 0 {
+                // First attempt starts from identity locals: cheap and
+                // often already optimal for structured targets.
+                (Mat2::identity(), Mat2::identity())
+            } else {
+                (haar_su2(rng), haar_su2(rng))
+            };
         }
-        if best.as_ref().map(|b| b.overlap).unwrap_or(0.0) >= target_overlap {
+        let overlap = optimize_slice(&t_dag, bases, &mut ws.cand, &mut ws.suffix, config);
+        match warm_grows {
+            None => warm_grows = Some(ws.grows),
+            Some(warm) => debug_assert_eq!(
+                ws.grows, warm,
+                "optimizer buffers grew after the warm-up restart"
+            ),
+        }
+        if overlap > best_overlap {
+            best_overlap = overlap;
+            ws.best.copy_from_slice(&ws.cand);
+        }
+        if best_overlap >= target_overlap {
             break;
         }
     }
-    let mut best = best.expect("at least one restart ran"); // lint: allow(no-expect) — loop body runs >= 1 time
-                                                            // Polish phase: coordinate ascent on the local pairs has spurious
-                                                            // "ping-pong" fixed points a hair away from the optimum (each single
-                                                            // update is exactly optimal yet the joint step is stuck), so a run
-                                                            // can plateau at residual ~1e-7 on a decomposable target no matter
-                                                            // how many fresh restarts are tried. Residual-scaled random kicks
-                                                            // followed by re-optimization hop off the ridge; each round shrinks
-                                                            // the residual by roughly an order of magnitude. Runs with a large
-                                                            // residual are genuine rejections, not ridges, and are returned
-                                                            // untouched so the decision procedure stays cheap.
-    let mut residual = 4.0 * (1.0 - best.overlap);
+    // Polish phase: coordinate ascent on the local pairs has spurious
+    // "ping-pong" fixed points a hair away from the optimum (each single
+    // update is exactly optimal yet the joint step is stuck), so a run
+    // can plateau at residual ~1e-7 on a decomposable target no matter
+    // how many fresh restarts are tried. Residual-scaled random kicks
+    // followed by re-optimization hop off the ridge; each round shrinks
+    // the residual by roughly an order of magnitude. Runs with a large
+    // residual are genuine rejections, not ridges, and are returned
+    // untouched so the decision procedure stays cheap.
+    let mut residual = 4.0 * (1.0 - best_overlap);
     if residual < POLISH_THRESHOLD {
         for _round in 0..POLISH_ROUNDS {
             if residual <= config.target_residual {
@@ -182,24 +286,33 @@ pub fn optimize_with_restarts<R: Rng + ?Sized>(
             }
             let mag = (3.0 * residual.sqrt()).clamp(1e-8, 3e-2);
             for _trial in 0..POLISH_TRIALS {
-                let kicked: Vec<(Mat2, Mat2)> = best
-                    .locals
-                    .iter()
-                    .map(|(u, v)| (small_rotation(rng, mag) * *u, small_rotation(rng, mag) * *v))
-                    .collect();
-                let run = optimize_locals(target, bases, kicked, config);
-                if run.overlap > best.overlap {
-                    best = run;
+                // Kick the best locals into the reusable candidate buffer —
+                // no per-kick Vec is built.
+                for (slot, (u, v)) in ws.cand.iter_mut().zip(ws.best.iter()) {
+                    *slot = (small_rotation(rng, mag) * *u, small_rotation(rng, mag) * *v);
+                }
+                let overlap = optimize_slice(&t_dag, bases, &mut ws.cand, &mut ws.suffix, config);
+                debug_assert_eq!(
+                    ws.grows,
+                    warm_grows.unwrap_or(0),
+                    "polish kicks must not grow optimizer buffers"
+                );
+                if overlap > best_overlap {
+                    best_overlap = overlap;
+                    ws.best.copy_from_slice(&ws.cand);
                 }
             }
-            let polished = 4.0 * (1.0 - best.overlap);
+            let polished = 4.0 * (1.0 - best_overlap);
             if polished >= residual {
                 break;
             }
             residual = polished;
         }
     }
-    best
+    RunResult {
+        locals: ws.best.clone(),
+        overlap: best_overlap,
+    }
 }
 
 /// Residual below which a non-converged run is treated as sitting on a
@@ -324,6 +437,74 @@ mod tests {
             &mut rng,
         );
         assert!(run.overlap > 1.0 - 1e-9, "overlap {}", run.overlap);
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_workspace() {
+        let b = Mat4::sqrt_iswap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let dress = Mat4::kron(&haar_su2(&mut rng), &haar_su2(&mut rng));
+        let target = dress * b * Mat4::kron(&haar_su2(&mut rng), &haar_su2(&mut rng));
+        let cfg = OptimizerConfig::default();
+        let mut ws = Workspace::new();
+        // Warm the workspace on an unrelated problem (different size).
+        let mut warm_rng = StdRng::seed_from_u64(8);
+        let _ = optimize_with_restarts_ws(
+            &Mat4::swap(),
+            &[b, b, b],
+            2,
+            1.0 - 1e-12,
+            &cfg,
+            &mut warm_rng,
+            &mut ws,
+        );
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let reused =
+            optimize_with_restarts_ws(&target, &[b], 4, 1.0 - 1e-12, &cfg, &mut rng_a, &mut ws);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let fresh = optimize_with_restarts(&target, &[b], 4, 1.0 - 1e-12, &cfg, &mut rng_b);
+        // Same rng seed + same code path => bit-identical outcome, warm or
+        // cold buffers.
+        assert_eq!(reused.overlap.to_bits(), fresh.overlap.to_bits());
+        assert_eq!(reused.locals.len(), fresh.locals.len());
+        for ((ru, rv), (fu, fv)) in reused.locals.iter().zip(&fresh.locals) {
+            assert!(ru.approx_eq(fu, 0.0) && rv.approx_eq(fv, 0.0));
+        }
+    }
+
+    #[test]
+    fn workspace_stops_growing_after_warmup() {
+        let b = Mat4::cnot();
+        let cfg = OptimizerConfig::default();
+        let mut ws = Workspace::new();
+        let mut rng = StdRng::seed_from_u64(14);
+        let _ = optimize_with_restarts_ws(
+            &Mat4::swap(),
+            &[b, b, b],
+            3,
+            1.0 - 1e-12,
+            &cfg,
+            &mut rng,
+            &mut ws,
+        );
+        let grows_after_first = ws.grows();
+        for seed in 15..18 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let _ = optimize_with_restarts_ws(
+                &Mat4::swap(),
+                &[b, b, b],
+                3,
+                1.0 - 1e-12,
+                &cfg,
+                &mut rng,
+                &mut ws,
+            );
+        }
+        assert_eq!(
+            ws.grows(),
+            grows_after_first,
+            "same-size searches must not grow the workspace again"
+        );
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! forbids outside test code — panicking shortcuts (`unwrap()`, `expect(`,
 //! `panic!`), placeholders and debug output (`todo!`, `unimplemented!`,
 //! `dbg!`, `println!`) — and for crate roots missing
-//! `#![forbid(unsafe_code)]`. Binary targets (`src/main.rs`, `src/bin/`)
+//! `#![forbid(unsafe_code)]`. In the simulation and synthesis hot paths
+//! (`crates/sim`, `crates/synth`) it additionally flags heap-allocated
+//! 4×4 matrices (`DMat::zeros(4, 4)`) that should use the stack
+//! [`Mat4`] kernel. Binary targets (`src/main.rs`, `src/bin/`)
 //! are exempt from the panicking and output rules (a CLI may print and
 //! bail), not from `todo!`/`dbg!`. It is deliberately not a full parser: it
 //! strips comments and string literals, tracks `#[cfg(test)]` modules by
@@ -32,6 +35,9 @@ pub enum Rule {
     NoPrintln,
     /// Crate root missing `#![forbid(unsafe_code)]`.
     ForbidUnsafe,
+    /// Heap-allocated 4×4 (`DMat::zeros(4, 4)`) in hot-path crates that
+    /// have the stack [`Mat4`] kernel available (`nsb-sim`, `nsb-synth`).
+    PreferMat4,
 }
 
 impl Rule {
@@ -45,6 +51,7 @@ impl Rule {
             Rule::NoDbg => "no-dbg",
             Rule::NoPrintln => "no-println",
             Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::PreferMat4 => "prefer-mat4",
         }
     }
 }
@@ -224,7 +231,7 @@ pub fn analyze(file: &Path, text: &str, kind: FileKind) -> Vec<Finding> {
             }
         }
         brace_depth += opens - closes;
-        let mut hit = |rule: Rule, what: &str| {
+        let mut hit = |rule: Rule, message: String| {
             if allowed.contains(rule.id()) || allowed.contains("all") {
                 return;
             }
@@ -232,36 +239,55 @@ pub fn analyze(file: &Path, text: &str, kind: FileKind) -> Vec<Finding> {
                 file: file.to_path_buf(),
                 line: line_no,
                 rule,
-                message: format!("forbidden pattern `{what}` in library code"),
+                message,
                 snippet: raw.trim().to_string(),
             });
         };
+        let forbidden = |what: &str| format!("forbidden pattern `{what}` in library code");
         if kind == FileKind::Lib {
             if code.contains(".unwrap()") {
-                hit(Rule::NoUnwrap, ".unwrap()");
+                hit(Rule::NoUnwrap, forbidden(".unwrap()"));
             }
             if code.contains(".expect(") {
-                hit(Rule::NoExpect, ".expect(");
+                hit(Rule::NoExpect, forbidden(".expect("));
             }
             if code.contains("panic!") {
-                hit(Rule::NoPanic, "panic!");
+                hit(Rule::NoPanic, forbidden("panic!"));
             }
         }
         if code.contains("todo!") || code.contains("unimplemented!") {
-            hit(Rule::NoTodo, "todo!/unimplemented!");
+            hit(Rule::NoTodo, forbidden("todo!/unimplemented!"));
         }
         if code.contains("dbg!") {
-            hit(Rule::NoDbg, "dbg!");
+            hit(Rule::NoDbg, forbidden("dbg!"));
         }
         if kind == FileKind::Lib
             && ["println!", "print!", "eprintln!", "eprint!"]
                 .iter()
                 .any(|p| code.contains(p))
         {
-            hit(Rule::NoPrintln, "println!-family output");
+            hit(Rule::NoPrintln, forbidden("println!-family output"));
+        }
+        if kind == FileKind::Lib
+            && mat4_hot_path(file)
+            && (code.contains("DMat::zeros(4, 4)") || code.contains("DMat::zeros(4,4)"))
+        {
+            hit(
+                Rule::PreferMat4,
+                "heap-allocated 4x4 `DMat::zeros(4, 4)` in a hot-path crate; \
+                 use the stack `nsb_math::Mat4` kernel instead"
+                    .into(),
+            );
         }
     }
     findings
+}
+
+/// Whether `file` belongs to a crate whose library code should use the
+/// stack `Mat4` kernel for 4×4 work (the simulation and synthesis hot
+/// paths).
+fn mat4_hot_path(file: &Path) -> bool {
+    file.starts_with("crates/sim/src") || file.starts_with("crates/synth/src")
 }
 
 /// Parses a `lint: allow(...)` marker out of a line's comments; returns
@@ -425,6 +451,38 @@ mod tests {
     fn lifetimes_do_not_break_char_stripping() {
         let text = "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g() { let c = 'x'; let _ = c; }\n";
         assert!(lint(text).is_empty());
+    }
+
+    #[test]
+    fn heap_4x4_flagged_only_in_hot_path_crates() {
+        let text = "fn f() { let m = DMat::zeros(4, 4); black_box(m); }\n";
+        let sim = analyze(Path::new("crates/sim/src/evolve.rs"), text, FileKind::Lib);
+        assert_eq!(sim.len(), 1, "{sim:?}");
+        assert_eq!(sim[0].rule, Rule::PreferMat4);
+        assert!(sim[0].message.contains("Mat4"));
+        let synth = analyze(
+            Path::new("crates/synth/src/optimizer.rs"),
+            "fn g() { DMat::zeros(4,4); }\n",
+            FileKind::Lib,
+        );
+        assert_eq!(synth.len(), 1, "{synth:?}");
+        // Other crates (e.g. nsb-math's own generic code) are exempt.
+        let math = analyze(Path::new("crates/math/src/dmat.rs"), text, FileKind::Lib);
+        assert!(math.is_empty(), "{math:?}");
+        // Non-4x4 shapes are fine even in hot-path crates.
+        let other = analyze(
+            Path::new("crates/sim/src/evolve.rs"),
+            "fn f() { DMat::zeros(27, 4); }\n",
+            FileKind::Lib,
+        );
+        assert!(other.is_empty(), "{other:?}");
+        // The escape hatch works like every other rule.
+        let allowed = analyze(
+            Path::new("crates/sim/src/evolve.rs"),
+            "fn f() { DMat::zeros(4, 4); } // lint: allow(prefer-mat4)\n",
+            FileKind::Lib,
+        );
+        assert!(allowed.is_empty(), "{allowed:?}");
     }
 
     #[test]

@@ -41,7 +41,20 @@ impl Bencher {
     }
 }
 
+/// Sample-count override for quick runs (e.g. a CI smoke job):
+/// `NSB_BENCH_SAMPLES=2 cargo bench` caps every benchmark at 2 samples.
+/// Unset, empty, unparsable, or zero values leave the configured count.
+fn sample_override() -> Option<usize> {
+    std::env::var("NSB_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
 fn run_one(full_name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let sample_size = sample_override()
+        .map(|n| n.min(sample_size))
+        .unwrap_or(sample_size);
     let mut b = Bencher {
         samples: Vec::with_capacity(sample_size),
         iters_per_sample: 1,
