@@ -605,4 +605,18 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(a, gate_kind_hash(&Gate::CPhase(0.5), true));
     }
+
+    #[test]
+    fn lower_error_variants_display_and_chain() {
+        use std::error::Error;
+        let synth = LowerError::Synthesis(SynthesisFailed {
+            best_error: 1e-3,
+            max_layers: 5,
+        });
+        assert!(synth.to_string().contains("synthesis failed"));
+        assert!(synth.source().is_some(), "Synthesis wraps its cause");
+        let nc = LowerError::NotCoupled { q0: 2, q1: 5 };
+        assert!(nc.to_string().contains("2,5"));
+        assert!(nc.source().is_none());
+    }
 }

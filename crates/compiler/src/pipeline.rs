@@ -450,4 +450,24 @@ mod tests {
         let overlap = verify_compiled(&logical, &compiled);
         assert!(overlap > 0.999, "overlap {overlap}");
     }
+
+    #[test]
+    fn compile_error_variants_display_and_chain() {
+        use std::error::Error;
+        let route = CompileError::from(RouteError::NoSwapCandidates { qubits: (0, 3) });
+        assert!(matches!(route, CompileError::Route(_)));
+        assert!(route.to_string().contains("routing stalled"));
+        assert!(route.source().is_some());
+
+        let lower = CompileError::from(LowerError::NotCoupled { q0: 1, q1: 2 });
+        assert!(matches!(lower, CompileError::Lower(_)));
+        assert!(lower.source().is_some());
+
+        let verification = CompileError::Verification {
+            stage: "lower",
+            report: VerifyReport::default(),
+        };
+        assert!(verification.to_string().contains("after `lower`"));
+        assert!(verification.source().is_none());
+    }
 }

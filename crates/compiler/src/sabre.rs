@@ -419,4 +419,11 @@ mod tests {
             seen[p] = true;
         }
     }
+
+    #[test]
+    fn route_error_names_the_blocked_gate() {
+        let e = RouteError::NoSwapCandidates { qubits: (4, 7) };
+        assert!(e.to_string().contains("4,7"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
 }

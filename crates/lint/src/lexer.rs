@@ -1,0 +1,650 @@
+//! A Rust lexer producing spanned tokens plus the comment stream.
+//!
+//! The lexer understands everything the old line-based analyzer could
+//! not: string literals (including raw and byte strings), character
+//! literals vs. lifetimes, nested block comments, and numeric literal
+//! classification (integer vs. float, with underscores, exponents and
+//! type suffixes). Comments are not discarded — they are returned
+//! alongside the tokens so suppression markers (`// lint: allow(rule)`)
+//! can be read from real comments only, never from string contents.
+
+/// What a single token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`self`, `fn`, `shard_of`, ...).
+    Ident(String),
+    /// A lifetime such as `'a` (without the quote).
+    Lifetime(String),
+    /// An integer literal, verbatim (`42`, `0xFF`, `1_000u64`).
+    Int(String),
+    /// A floating-point literal, verbatim (`1.0`, `1e-12`, `2f64`).
+    Float(String),
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`);
+    /// contents are deliberately dropped — rules must not see them.
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation, with multi-character operators joined by maximal
+    /// munch (`::`, `->`, `==`, `..=`, ...).
+    Punct(&'static str),
+}
+
+/// One token with its position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind and text.
+    pub kind: TokenKind,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+    /// 1-based column of the token's first character.
+    pub col: usize,
+}
+
+/// One comment, kept for suppression-marker parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Whether the comment is the first non-whitespace on its line.
+    pub standalone: bool,
+}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// scanning the table in order.
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Single-character punctuation mapped to static strings.
+const SINGLES: &str = "+-*/%^&|!<>=.,;:#$?@(){}[]~'\"\\";
+
+fn single_op(c: char) -> &'static str {
+    let singles: &[(char, &'static str)] = &[
+        ('+', "+"),
+        ('-', "-"),
+        ('*', "*"),
+        ('/', "/"),
+        ('%', "%"),
+        ('^', "^"),
+        ('&', "&"),
+        ('|', "|"),
+        ('!', "!"),
+        ('<', "<"),
+        ('>', ">"),
+        ('=', "="),
+        ('.', "."),
+        (',', ","),
+        (';', ";"),
+        (':', ":"),
+        ('#', "#"),
+        ('$', "$"),
+        ('?', "?"),
+        ('@', "@"),
+        ('(', "("),
+        (')', ")"),
+        ('{', "{"),
+        ('}', "}"),
+        ('[', "["),
+        (']', "]"),
+        ('~', "~"),
+        ('\'', "'"),
+        ('"', "\""),
+        ('\\', "\\"),
+    ];
+    singles
+        .iter()
+        .find(|(ch, _)| *ch == c)
+        .map(|(_, s)| *s)
+        .unwrap_or("?")
+}
+
+/// Cursor over the source with line/column tracking.
+struct Cursor<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: usize,
+    col: usize,
+    /// Whether only whitespace has been seen since the last newline.
+    at_line_start: bool,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            at_line_start: true,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+            self.at_line_start = true;
+        } else {
+            self.col += 1;
+            if !c.is_whitespace() {
+                self.at_line_start = false;
+            }
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars()
+            .enumerate()
+            .all(|(i, c)| self.peek_at(i) == Some(c))
+    }
+}
+
+/// The lexer's full output.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// All code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. The lexer never fails: malformed input (an
+/// unterminated string, say) is consumed to end-of-file and the tokens
+/// seen so far are returned — a linter must degrade gracefully on code
+/// that rustc itself will reject later.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek() {
+        let (line, col, standalone) = (cur.line, cur.col, cur.at_line_start);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if cur.starts_with("//") {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek() {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                standalone,
+            });
+            continue;
+        }
+        if cur.starts_with("/*") {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while let Some(ch) = cur.peek() {
+                if cur.starts_with("/*") {
+                    depth += 1;
+                    text.push_str("/*");
+                    cur.bump();
+                    cur.bump();
+                } else if cur.starts_with("*/") {
+                    depth = depth.saturating_sub(1);
+                    text.push_str("*/");
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(ch);
+                    cur.bump();
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                standalone,
+            });
+            continue;
+        }
+        // Raw strings and byte strings: r"…", r#"…"#, br#"…"#, b"…".
+        if c == 'r' || c == 'b' {
+            if let Some(len) = raw_string_intro(&cur) {
+                lex_raw_string(&mut cur, len);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if c == 'b' && cur.peek_at(1) == Some('"') {
+                cur.bump(); // b
+                lex_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if c == 'b' && cur.peek_at(1) == Some('\'') {
+                cur.bump(); // b
+                lex_char(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    line,
+                    col,
+                });
+                continue;
+            }
+        }
+        if c == '"' {
+            lex_string(&mut cur);
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime or char literal. A lifetime is `'` + ident with no
+            // closing quote; a char literal closes after one (possibly
+            // escaped) character.
+            if is_char_literal(&cur) {
+                lex_char(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    line,
+                    col,
+                });
+            } else {
+                cur.bump(); // '
+                let mut name = String::new();
+                while let Some(ch) = cur.peek() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        name.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime(name),
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let kind = lex_number(&mut cur);
+            out.tokens.push(Token { kind, line, col });
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let mut name = String::new();
+            while let Some(ch) = cur.peek() {
+                if ch.is_alphanumeric() || ch == '_' {
+                    name.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident(name),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Punctuation: maximal munch over the operator table.
+        let mut matched = None;
+        for op in OPS {
+            if cur.starts_with(op) {
+                matched = Some(*op);
+                break;
+            }
+        }
+        match matched {
+            Some(op) => {
+                for _ in 0..op.len() {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(op),
+                    line,
+                    col,
+                });
+            }
+            None => {
+                cur.bump();
+                if SINGLES.contains(c) {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct(single_op(c)),
+                        line,
+                        col,
+                    });
+                }
+                // Anything else (stray unicode) is dropped.
+            }
+        }
+    }
+    let _ = cur.src;
+    out
+}
+
+/// Length of a raw-string introducer at the cursor (`r`, `br` plus `#`s
+/// and the opening quote), or `None` if the cursor is not at one.
+fn raw_string_intro(cur: &Cursor<'_>) -> Option<usize> {
+    let mut i = 0;
+    if cur.peek_at(i) == Some('b') {
+        i += 1;
+    }
+    if cur.peek_at(i) != Some('r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0;
+    while cur.peek_at(i) == Some('#') {
+        i += 1;
+        hashes += 1;
+    }
+    if cur.peek_at(i) == Some('"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Consumes a raw string with `hashes` `#`s; the cursor sits on the
+/// introducer.
+fn lex_raw_string(cur: &mut Cursor<'_>, hashes: usize) {
+    // Skip to and past the opening quote.
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            break;
+        }
+    }
+    let closer = format!("\"{}", "#".repeat(hashes));
+    while cur.peek().is_some() {
+        if cur.starts_with(&closer) {
+            for _ in 0..closer.len() {
+                cur.bump();
+            }
+            return;
+        }
+        cur.bump();
+    }
+}
+
+/// Consumes a normal string literal; the cursor sits on the opening `"`.
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // "
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Whether the cursor (on a `'`) starts a char literal rather than a
+/// lifetime.
+fn is_char_literal(cur: &Cursor<'_>) -> bool {
+    match cur.peek_at(1) {
+        Some('\\') => true,
+        Some(c) if c != '\'' => cur.peek_at(2) == Some('\''),
+        _ => false,
+    }
+}
+
+/// Consumes a char/byte literal; the cursor sits on the opening `'`.
+fn lex_char(cur: &mut Cursor<'_>) {
+    cur.bump(); // '
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a numeric literal and classifies it as integer or float.
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    let mut text = String::new();
+    let mut is_float = false;
+    // Radix prefixes are always integers.
+    if cur.peek() == Some('0')
+        && matches!(
+            cur.peek_at(1),
+            Some('x') | Some('X') | Some('o') | Some('O') | Some('b') | Some('B')
+        )
+    {
+        text.push(cur.bump().unwrap_or('0'));
+        text.push(cur.bump().unwrap_or('x'));
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return TokenKind::Int(text);
+    }
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_digit() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part: `1.5` or trailing `1.` — but not `1..5` (range)
+    // and not `1.max(2)` (method call on an integer literal).
+    if cur.peek() == Some('.') {
+        match cur.peek_at(1) {
+            Some(c2) if c2.is_ascii_digit() => {
+                is_float = true;
+                text.push('.');
+                cur.bump();
+                while let Some(c) = cur.peek() {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Some('.') => {}
+            Some(c2) if c2.is_alphabetic() || c2 == '_' => {}
+            _ => {
+                // `1.` at end of expression.
+                is_float = true;
+                text.push('.');
+                cur.bump();
+            }
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(), Some('e') | Some('E')) {
+        let (sign, first_digit) = match cur.peek_at(1) {
+            Some('+') | Some('-') => (1, cur.peek_at(2)),
+            other => (0, other),
+        };
+        if first_digit.is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            text.push(cur.bump().unwrap_or('e'));
+            for _ in 0..sign {
+                text.push(cur.bump().unwrap_or('+'));
+            }
+            while let Some(c) = cur.peek() {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Type suffix.
+    let mut suffix = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            suffix.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix.starts_with('f') {
+        is_float = true;
+    }
+    text.push_str(&suffix);
+    if is_float {
+        TokenKind::Float(text)
+    } else {
+        TokenKind::Int(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_ops() {
+        let k = kinds("a == b != c && d");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("=="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct("!="),
+                TokenKind::Ident("c".into()),
+                TokenKind::Punct("&&"),
+                TokenKind::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_contents() {
+        let k = kinds(r#"let s = "panic! .unwrap()";"#);
+        assert!(k.contains(&TokenKind::Str));
+        assert!(!k
+            .iter()
+            .any(|t| matches!(t, TokenKind::Ident(i) if i == "panic")));
+    }
+
+    #[test]
+    fn raw_strings_and_bytes() {
+        let k = kinds(r###"let s = r#"x.unwrap() "quoted""#; let b = b"panic!";"###);
+        assert_eq!(
+            k.iter().filter(|t| **t == TokenKind::Str).count(),
+            2,
+            "{k:?}"
+        );
+        assert!(!k
+            .iter()
+            .any(|t| matches!(t, TokenKind::Ident(i) if i == "unwrap")));
+    }
+
+    #[test]
+    fn comments_are_collected_not_tokenized() {
+        let out = lex("let x = 1; // trailing note\n/* block\ncomment */ let y = 2;\n");
+        assert_eq!(out.comments.len(), 2);
+        assert!(out.comments[0].text.contains("trailing note"));
+        assert!(!out.comments[0].standalone);
+        assert!(out.comments[1].standalone);
+        assert!(!out
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Ident(i) if i == "comment")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(out.comments.len(), 1);
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Ident(i) if i == "fn")));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let k = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::Char).count(), 2);
+        assert_eq!(
+            k.iter()
+                .filter(|t| matches!(t, TokenKind::Lifetime(l) if l == "a"))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn number_classification() {
+        assert_eq!(kinds("42"), vec![TokenKind::Int("42".into())]);
+        assert_eq!(kinds("0xFF_u8"), vec![TokenKind::Int("0xFF_u8".into())]);
+        assert_eq!(kinds("1.5"), vec![TokenKind::Float("1.5".into())]);
+        assert_eq!(kinds("1e-12"), vec![TokenKind::Float("1e-12".into())]);
+        assert_eq!(kinds("2f64"), vec![TokenKind::Float("2f64".into())]);
+        assert_eq!(kinds("1_000"), vec![TokenKind::Int("1_000".into())]);
+        // Ranges and method calls on integers stay integers.
+        assert_eq!(
+            kinds("1..5"),
+            vec![
+                TokenKind::Int("1".into()),
+                TokenKind::Punct(".."),
+                TokenKind::Int("5".into()),
+            ]
+        );
+        assert_eq!(
+            kinds("1.max(2)")[0],
+            TokenKind::Int("1".into()),
+            "method call on int literal"
+        );
+    }
+
+    #[test]
+    fn spans_are_one_based() {
+        let out = lex("a\n  b");
+        assert_eq!((out.tokens[0].line, out.tokens[0].col), (1, 1));
+        assert_eq!((out.tokens[1].line, out.tokens[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,90 @@
+//! `nsb-lint`: AST-driven static analysis for the workspace.
+//!
+//! The crate parses every workspace source file with a hand-rolled
+//! lexer ([`lexer`]) and token-tree builder ([`tree`]) — no external
+//! parser dependency — and walks the trees with a set of structural
+//! rules, emitting rustc-style diagnostics ([`diag`]) with file/line
+//! spans, a severity, and a machine-readable JSON encoding for CI
+//! artifacts. `// lint: allow(rule)` comments suppress a finding on
+//! their own line (standalone comments also cover the next line);
+//! because markers are parsed from real comments after lexing, string
+//! literals can neither suppress nor trigger anything.
+//!
+//! Rule families:
+//!
+//! * **`lock-order`** — a static deadlock detector over `std::sync`
+//!   usage: lock-acquisition-order cycles, re-entrant acquisitions, and
+//!   guards held across blocking calls (`Condvar` waits, `recv`,
+//!   `join`). See [`rules::lock_order`].
+//! * **`error-variant-coverage`** — every variant of a `pub enum
+//!   *Error` must be constructed or matched somewhere in test code.
+//! * **`float-eq`** — exact `==`/`!=` against visibly floating-point
+//!   operands in non-test code.
+//! * **`no-unwrap` / `no-expect` / `no-panic` / `no-todo` / `no-dbg` /
+//!   `no-println` / `forbid-unsafe`** — the panicking-API rules,
+//!   ported from the old line-based analyzer to the AST.
+//! * **`prefer-mat4`** — heap-allocated `DMat::zeros(4, 4)` in the
+//!   simulation/synthesis hot paths, matched structurally.
+//!
+//! The entry point is [`run_workspace`]; `cargo run -p xtask -- lint`
+//! drives it from the command line.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod tree;
+
+pub use diag::{to_json, Diagnostic, Severity};
+pub use engine::{analyze_files, collect_files, run_workspace};
+pub use source::{FileKind, SourceFile};
+
+/// Every rule id with a one-line summary, in catalogue order.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "lock-order",
+        "lock-acquisition cycles, re-entrant locks, and guards held across blocking calls",
+    ),
+    (
+        "error-variant-coverage",
+        "every public error enum variant is constructed or matched in test code",
+    ),
+    (
+        "float-eq",
+        "exact ==/!= comparison against floating-point operands outside tests",
+    ),
+    ("no-unwrap", ".unwrap() in library code"),
+    ("no-expect", ".expect(…) in library code"),
+    ("no-panic", "panic! in library code"),
+    ("no-todo", "todo!/unimplemented! anywhere"),
+    ("no-dbg", "dbg! anywhere"),
+    ("no-println", "println!-family output in library code"),
+    (
+        "forbid-unsafe",
+        "crate roots must declare #![forbid(unsafe_code)]",
+    ),
+    (
+        "prefer-mat4",
+        "heap-allocated DMat::zeros(4, 4) in hot-path crates with the stack Mat4 kernel",
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_kebab_case() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (id, summary) in RULES {
+            assert!(seen.insert(id), "duplicate rule id {id}");
+            assert!(!summary.is_empty());
+            assert!(id
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '-' || c.is_ascii_digit()));
+        }
+    }
+}

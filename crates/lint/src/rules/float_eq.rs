@@ -1,0 +1,124 @@
+//! `float-eq`: exact `==`/`!=` comparisons against floating-point
+//! values in non-test code.
+//!
+//! Without type inference the rule is syntactic: a comparison fires
+//! when either operand is visibly floating-point — a float literal
+//! (`0.0`, `1e-12`, `2f64`), possibly negated, or an `as f64`/`as f32`
+//! cast. Identifier-vs-identifier float comparisons are out of reach;
+//! the approved alternatives (`total_cmp`, `to_bits`, tolerance
+//! helpers like `approx_eq`) never use bare `==` and so never fire.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::tree::{walk_groups, Tree};
+
+fn is_float_leaf(t: &Tree) -> bool {
+    matches!(
+        t,
+        Tree::Leaf(tok) if matches!(tok.kind, TokenKind::Float(_))
+    )
+}
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    walk_groups(&file.trees, &mut |trees| {
+        for (i, t) in trees.iter().enumerate() {
+            let op = if t.is_punct("==") {
+                "=="
+            } else if t.is_punct("!=") {
+                "!="
+            } else {
+                continue;
+            };
+            let line = t.line();
+            if file.is_test_line(line) {
+                continue;
+            }
+            // Right operand: a float literal, possibly negated.
+            let right_float = match trees.get(i + 1) {
+                Some(n) if is_float_leaf(n) => true,
+                Some(n) if n.is_punct("-") => trees.get(i + 2).is_some_and(is_float_leaf),
+                _ => false,
+            };
+            // Left operand: a float literal, or an `as f64` / `as f32`
+            // cast ending right before the operator.
+            let left_float = match trees.get(i.wrapping_sub(1)) {
+                Some(n) if is_float_leaf(n) => true,
+                Some(n)
+                    if matches!(n.ident(), Some("f64") | Some("f32"))
+                        && i >= 2
+                        && trees[i - 2].ident() == Some("as") =>
+                {
+                    true
+                }
+                _ => false,
+            };
+            if right_float || left_float {
+                out.push(Diagnostic {
+                    rule: "float-eq",
+                    severity: Severity::Error,
+                    file: file.path.clone(),
+                    line,
+                    col: t.col(),
+                    message: format!(
+                        "exact floating-point `{op}` comparison; compare integer counts, \
+                         use `total_cmp`/`to_bits`, or a tolerance helper"
+                    ),
+                    snippet: file.snippet(line),
+                });
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::lib_file;
+
+    fn count(text: &str) -> usize {
+        let f = lib_file("crates/x/src/a.rs", text);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out.len()
+    }
+
+    #[test]
+    fn flags_literal_comparisons() {
+        assert_eq!(count("fn f(x: f64) -> bool { x == 0.0 }\n"), 1);
+        assert_eq!(count("fn f(x: f64) -> bool { 1e-12 != x }\n"), 1);
+        assert_eq!(count("fn f(x: f64) -> bool { x == -1.5 }\n"), 1);
+        assert_eq!(count("fn f(x: f64) -> bool { x as f64 == y }\n"), 1);
+    }
+
+    #[test]
+    fn integer_comparisons_are_fine() {
+        assert_eq!(count("fn f(x: u64) -> bool { x == 0 }\n"), 0);
+        assert_eq!(count("fn f(x: usize) -> bool { x != 10 }\n"), 0);
+    }
+
+    #[test]
+    fn approved_helpers_do_not_fire() {
+        assert_eq!(
+            count("fn f(a: f64, b: f64) -> bool { a.to_bits() == b.to_bits() }\n"),
+            0
+        );
+        assert_eq!(
+            count("fn f(a: f64, b: f64) -> bool { (a - b).abs() < 1e-12 }\n"),
+            0
+        );
+        assert_eq!(
+            count("fn f(a: f64, b: f64) -> Ordering { a.total_cmp(&b) }\n"),
+            0
+        );
+    }
+
+    #[test]
+    fn test_code_may_compare_exactly() {
+        assert_eq!(
+            count("#[cfg(test)]\nmod tests {\n    fn t(x: f64) { assert!(x == 0.0); }\n}\n"),
+            0
+        );
+    }
+}

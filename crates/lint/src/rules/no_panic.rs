@@ -1,0 +1,194 @@
+//! The panicking-API rules, ported from the old regex analyzer to the
+//! AST: `.unwrap()`, `.expect(…)`, `panic!`, `todo!`/`unimplemented!`,
+//! `dbg!`, `println!`-family output, and the `#![forbid(unsafe_code)]`
+//! crate-root requirement.
+//!
+//! Because matching happens on tokens, string literals, comments and
+//! identifiers that merely *contain* a forbidden name (`unwrap_or`,
+//! `should_panic`) can never fire — the reason the old line-based rules
+//! needed allow-markers on documentation strings.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::source::{FileKind, SourceFile};
+use crate::tree::{walk_groups, Tree};
+
+/// Runs every panicking-API rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.kind == FileKind::Lib && file.is_crate_root() && !has_forbid_unsafe(&file.trees) {
+        out.push(Diagnostic {
+            rule: "forbid-unsafe",
+            severity: Severity::Error,
+            file: file.path.clone(),
+            line: 0,
+            col: 0,
+            message: "crate root does not declare `#![forbid(unsafe_code)]`".into(),
+            snippet: String::new(),
+        });
+    }
+    walk_groups(&file.trees, &mut |trees| {
+        scan_level(file, trees, out);
+    });
+}
+
+/// Whether the top-level trees carry the `#![forbid(unsafe_code)]`
+/// inner attribute.
+fn has_forbid_unsafe(trees: &[Tree]) -> bool {
+    let mut i = 0;
+    while i + 2 < trees.len() {
+        if trees[i].is_punct("#") && trees[i + 1].is_punct("!") {
+            if let Some(g) = trees[i + 2].group() {
+                if g.delim == '['
+                    && g.trees.first().and_then(Tree::ident) == Some("forbid")
+                    && g.trees.get(1).and_then(Tree::group).is_some_and(|args| {
+                        args.trees.first().and_then(Tree::ident) == Some("unsafe_code")
+                    })
+                {
+                    return true;
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+fn scan_level(file: &SourceFile, trees: &[Tree], out: &mut Vec<Diagnostic>) {
+    let lib = file.kind == FileKind::Lib;
+    let mut hit = |rule: &'static str, node: &Tree, what: &str| {
+        let line = node.line();
+        if file.is_test_line(line) {
+            return;
+        }
+        out.push(Diagnostic {
+            rule,
+            severity: Severity::Error,
+            file: file.path.clone(),
+            line,
+            col: node.col(),
+            message: format!("forbidden pattern `{what}` in library code"),
+            snippet: file.snippet(line),
+        });
+    };
+    for (i, t) in trees.iter().enumerate() {
+        // `.unwrap()` / `.expect(…)` — a dot, the method name, and the
+        // argument group.
+        if t.is_punct(".") {
+            let name = trees.get(i + 1).and_then(Tree::ident);
+            let args = trees.get(i + 2).and_then(Tree::group);
+            if let (Some(name), Some(args)) = (name, args) {
+                if args.delim == '(' && lib {
+                    if name == "unwrap" && args.trees.is_empty() {
+                        hit("no-unwrap", &trees[i + 1], ".unwrap()");
+                    }
+                    if name == "expect" && !args.trees.is_empty() {
+                        hit("no-expect", &trees[i + 1], ".expect(…)");
+                    }
+                }
+            }
+            continue;
+        }
+        // Macro invocations: an identifier followed by `!`.
+        let Some(name) = t.ident() else { continue };
+        if !trees.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+            continue;
+        }
+        match name {
+            "panic" if lib => hit("no-panic", t, "panic!"),
+            "todo" | "unimplemented" => hit("no-todo", t, "todo!/unimplemented!"),
+            "dbg" => hit("no-dbg", t, "dbg!"),
+            "println" | "print" | "eprintln" | "eprint" if lib => {
+                hit("no-println", t, "println!-family output")
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::lib_file;
+
+    fn rules_of(text: &str) -> Vec<&'static str> {
+        let f = lib_file("crates/x/src/a.rs", text);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out.iter()
+            .map(|d| d.rule)
+            .filter(|r| *r != "forbid-unsafe")
+            .collect()
+    }
+
+    #[test]
+    fn flags_the_panicking_shortcuts() {
+        let r = rules_of(
+            "fn f() {\n    x.unwrap();\n    y.expect(\"boom\");\n    panic!(\"no\");\n    todo!();\n    dbg!(3);\n    println!(\"hi\");\n}\n",
+        );
+        assert_eq!(
+            r,
+            vec![
+                "no-unwrap",
+                "no-expect",
+                "no-panic",
+                "no-todo",
+                "no-dbg",
+                "no-println"
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_comments_and_lookalikes_do_not_fire() {
+        let r = rules_of(
+            "fn f() {\n    // x.unwrap() in a comment\n    let s = \"panic! .unwrap() todo!\";\n    let t = r#\"dbg!(1)\"#;\n    x.unwrap_or(3);\n    x.unwrap_or_else(g);\n    std::panic::resume_unwind(p);\n}\n#[should_panic]\nfn g() {}\n",
+        );
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let r = rules_of("fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); panic!(); }\n}\n");
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn bin_files_may_print_and_bail_but_not_todo() {
+        let f = crate::source::SourceFile::parse(
+            "crates/x/src/main.rs",
+            FileKind::Bin,
+            "fn main() { println!(\"x\"); y.unwrap(); panic!(\"z\"); todo!(); dbg!(1); }\n",
+        );
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        let rules: Vec<_> = out.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["no-todo", "no-dbg"]);
+    }
+
+    #[test]
+    fn crate_root_requires_forbid_unsafe() {
+        let f = lib_file("crates/x/src/lib.rs", "fn f() {}\n");
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "forbid-unsafe");
+        assert_eq!(out[0].line, 0);
+
+        let ok = lib_file(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\nfn f() {}\n",
+        );
+        let mut out = Vec::new();
+        check(&ok, &mut out);
+        assert!(out.is_empty());
+
+        // A string literal spelling the attribute must NOT satisfy the
+        // requirement (the old regex analyzer got this wrong).
+        let fake = lib_file(
+            "crates/x/src/lib.rs",
+            "static S: &str = \"#![forbid(unsafe_code)]\";\n",
+        );
+        let mut out = Vec::new();
+        check(&fake, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+}

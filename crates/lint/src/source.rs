@@ -1,0 +1,275 @@
+//! Parsed source files: token trees plus the two per-file facts every
+//! rule needs — which lines are `#[cfg(test)]` code and which lines
+//! carry `// lint: allow(rule)` suppression markers.
+
+use crate::lexer::{lex, Comment};
+use crate::tree::{build, Tree};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// How a file's code is classified for rule applicability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: every rule applies.
+    Lib,
+    /// A binary target (`src/main.rs`, `src/bin/`, or the `xtask`
+    /// crate): exempt from the panicking and terminal-output rules (a
+    /// CLI may print and bail), not from `todo!`/`dbg!`.
+    Bin,
+    /// A file under a `tests/` directory: scanned only as evidence for
+    /// the error-variant-coverage rule, never linted itself.
+    Test,
+}
+
+/// One parsed source file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// Rule-applicability class.
+    pub kind: FileKind,
+    /// Raw text (for diagnostics' snippet lines).
+    pub text: String,
+    /// Token trees of the whole file.
+    pub trees: Vec<Tree>,
+    /// Inclusive line ranges of `#[cfg(test)]` / `#[test]` items.
+    test_ranges: Vec<(usize, usize)>,
+    /// Line → rule ids allowed on that line (`"all"` allows everything).
+    allow: BTreeMap<usize, BTreeSet<String>>,
+}
+
+impl SourceFile {
+    /// Lexes and parses `text` into a source file.
+    pub fn parse(path: impl Into<PathBuf>, kind: FileKind, text: impl Into<String>) -> Self {
+        let path = path.into();
+        let text = text.into();
+        let lexed = lex(&text);
+        let trees = build(&lexed.tokens);
+        let mut test_ranges = Vec::new();
+        collect_test_ranges(&trees, &mut test_ranges);
+        let allow = collect_allow_markers(&lexed.comments);
+        SourceFile {
+            path,
+            kind,
+            text,
+            trees,
+            test_ranges,
+            allow,
+        }
+    }
+
+    /// Whether `line` lies inside test-gated code (or the whole file is
+    /// a test file).
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.kind == FileKind::Test
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// Whether a `lint: allow` marker on `line` suppresses `rule`.
+    pub fn allows(&self, line: usize, rule: &str) -> bool {
+        self.allow
+            .get(&line)
+            .is_some_and(|set| set.contains(rule) || set.contains("all"))
+    }
+
+    /// The trimmed source line (1-based), for diagnostic snippets.
+    pub fn snippet(&self, line: usize) -> String {
+        self.text
+            .lines()
+            .nth(line.saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    /// Whether this file is a crate root (`src/lib.rs`).
+    pub fn is_crate_root(&self) -> bool {
+        self.path.file_name().is_some_and(|n| n == "lib.rs")
+            && self
+                .path
+                .parent()
+                .and_then(|p| p.file_name())
+                .is_some_and(|n| n == "src")
+    }
+}
+
+/// Scans an item level for `#[cfg(test)]` / `#[test]` attributes and
+/// records the line span of the item each one gates. Non-test brace
+/// groups are recursed into (nested test modules); test groups are not
+/// (the whole span is already covered).
+fn collect_test_ranges(trees: &[Tree], out: &mut Vec<(usize, usize)>) {
+    let mut i = 0;
+    let mut pending: Option<usize> = None;
+    while i < trees.len() {
+        // Attribute: `#` `[…]` (outer) or `#` `!` `[…]` (inner).
+        if trees[i].is_punct("#") {
+            if let Some(Tree::Group(attr)) = trees.get(i + 1) {
+                if attr.delim == '[' {
+                    if is_test_attr(&attr.trees) {
+                        pending.get_or_insert(trees[i].line());
+                    }
+                    i += 2;
+                    continue;
+                }
+            }
+            if trees.get(i + 1).is_some_and(|t| t.is_punct("!")) {
+                if let Some(Tree::Group(attr)) = trees.get(i + 2) {
+                    if attr.delim == '[' {
+                        i += 3;
+                        continue;
+                    }
+                }
+            }
+        }
+        match &trees[i] {
+            Tree::Group(g) if g.delim == '{' => {
+                match pending.take() {
+                    Some(start) => out.push((start, g.close_line)),
+                    None => collect_test_ranges(&g.trees, out),
+                }
+                i += 1;
+            }
+            t if t.is_punct(";") => {
+                // `#[cfg(test)] use …;` — the gated item ends here.
+                if let Some(start) = pending.take() {
+                    out.push((start, t.line()));
+                }
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Whether an attribute's tokens mark test code: `#[test]`, or
+/// `#[cfg(test)]` in any combination — but never `cfg(not(test))`.
+fn is_test_attr(trees: &[Tree]) -> bool {
+    if trees.first().and_then(Tree::ident) == Some("test") && trees.len() == 1 {
+        return true;
+    }
+    if trees.first().and_then(Tree::ident) == Some("cfg") {
+        if let Some(Tree::Group(args)) = trees.get(1) {
+            return contains_test_outside_not(&args.trees);
+        }
+    }
+    false
+}
+
+fn contains_test_outside_not(trees: &[Tree]) -> bool {
+    let mut i = 0;
+    while i < trees.len() {
+        if trees[i].ident() == Some("not") && matches!(trees.get(i + 1), Some(Tree::Group(_))) {
+            i += 2; // skip the negated group entirely
+            continue;
+        }
+        match &trees[i] {
+            Tree::Group(g) if contains_test_outside_not(&g.trees) => return true,
+            t if t.ident() == Some("test") => return true,
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Parses `lint: allow(...)` markers out of real comments. A marker
+/// applies to its own line; a standalone `//` comment also covers the
+/// following line.
+fn collect_allow_markers(comments: &[Comment]) -> BTreeMap<usize, BTreeSet<String>> {
+    let mut out: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    for c in comments {
+        let Some(pos) = c.text.find("lint: allow") else {
+            continue;
+        };
+        let rest = &c.text[pos + "lint: allow".len()..];
+        let mut ids = BTreeSet::new();
+        let parsed = rest.strip_prefix('(').and_then(|r| {
+            r.find(')')
+                .map(|close| r[..close].split(',').map(|s| s.trim().to_string()))
+        });
+        match parsed {
+            Some(list) => ids.extend(list.filter(|s| !s.is_empty())),
+            None => {
+                ids.insert("all".to_string());
+            }
+        }
+        out.entry(c.line).or_default().extend(ids.iter().cloned());
+        if c.standalone && c.text.starts_with("//") {
+            out.entry(c.line + 1).or_default().extend(ids);
+        }
+    }
+    out
+}
+
+/// Convenience for rule unit tests: parse as a library file at `path`.
+pub fn lib_file(path: &str, text: &str) -> SourceFile {
+    SourceFile::parse(Path::new(path), FileKind::Lib, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mod_ranges_detected() {
+        let f = lib_file(
+            "crates/x/src/a.rs",
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n",
+        );
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let f = lib_file(
+            "crates/x/src/a.rs",
+            "#[cfg(not(test))]\nfn prod() {}\n#[cfg(all(test, unix))]\nfn t() {}\n",
+        );
+        assert!(!f.is_test_line(2));
+        assert!(f.is_test_line(4));
+    }
+
+    #[test]
+    fn single_gated_item_and_semi_items() {
+        let f = lib_file(
+            "crates/x/src/a.rs",
+            "#[cfg(test)]\nuse foo::bar;\nfn lib() {}\n#[test]\nfn t() {\n    x;\n}\n",
+        );
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+        assert!(f.is_test_line(6));
+    }
+
+    #[test]
+    fn allow_markers_from_comments_only() {
+        let f = lib_file(
+            "crates/x/src/a.rs",
+            "fn f() {} // lint: allow(no-unwrap)\n// lint: allow(no-expect)\nfn g() {}\nlet s = \"lint: allow(no-panic)\";\n",
+        );
+        assert!(f.allows(1, "no-unwrap"));
+        assert!(!f.allows(1, "no-expect"));
+        assert!(f.allows(2, "no-expect"));
+        assert!(f.allows(3, "no-expect"), "standalone covers next line");
+        assert!(!f.allows(4, "no-panic"), "markers in strings are ignored");
+    }
+
+    #[test]
+    fn bare_allow_means_all() {
+        let f = lib_file("crates/x/src/a.rs", "fn f() {} // lint: allow\n");
+        assert!(f.allows(1, "anything"));
+    }
+
+    #[test]
+    fn crate_root_detection() {
+        assert!(lib_file("crates/x/src/lib.rs", "").is_crate_root());
+        assert!(!lib_file("crates/x/src/a.rs", "").is_crate_root());
+    }
+}

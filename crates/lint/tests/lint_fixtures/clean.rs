@@ -1,0 +1,55 @@
+//! Fixture: a file every rule must pass — it exercises the lookalike
+//! patterns that tripped the old line-based analyzer (forbidden names
+//! inside strings and comments, guard-consuming condvar waits,
+//! consistent lock ordering, tolerance-based float comparisons) and a
+//! fully test-covered public error enum.
+
+#![forbid(unsafe_code)]
+
+/// Near-equality with an explicit tolerance (never flagged).
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    // The string below mentions x.unwrap() and panic! but is just data.
+    let _doc = "call sites must never use x.unwrap() or panic!";
+    (a - b).abs() < 1e-12
+}
+
+/// Exact bitwise comparison via the approved helper.
+pub fn same_bits(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+/// Consistent lock order plus a guard-consuming condvar wait.
+pub fn drain(s: &Shared) {
+    let mut queue = s.queue.lock();
+    while queue.is_empty() {
+        queue = s.ready.wait(queue);
+    }
+    let stats = s.stats.lock();
+    stats.record(queue.len());
+}
+
+/// Same order as `drain`, so no cycle.
+pub fn snapshot(s: &Shared) {
+    let queue = s.queue.lock();
+    let stats = s.stats.lock();
+    stats.record(queue.len());
+}
+
+/// A covered public error enum.
+pub enum CleanError {
+    /// The only variant; the test below exercises it.
+    Saturated,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_covered_and_tests_may_unwrap() {
+        let e = CleanError::Saturated;
+        assert!(matches!(e, CleanError::Saturated));
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

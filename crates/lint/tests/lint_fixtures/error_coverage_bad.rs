@@ -1,0 +1,27 @@
+// Fixture: a public error enum with three variants, only one of which
+// is exercised by the test module below — the other two must be
+// reported by error-variant-coverage.
+
+/// Fixture error type.
+pub enum FixtureError {
+    /// Covered by the test below.
+    Covered,
+    /// Never constructed or matched in any test.
+    NeverTested {
+        /// Payload.
+        detail: String,
+    },
+    /// Also never exercised.
+    Forgotten(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_one_variant_is_exercised() {
+        let e = FixtureError::Covered;
+        drop(e);
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: exact floating-point comparisons the float-eq rule must
+// flag — literal operands on either side and an `as f64` cast.
+
+fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+fn not_epsilon(x: f64) -> bool {
+    1e-12 != x
+}
+
+fn cast_compare(n: u32, y: f64) -> bool {
+    n as f64 == y
+}

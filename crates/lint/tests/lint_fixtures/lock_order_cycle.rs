@@ -1,0 +1,15 @@
+// Fixture: two functions acquire the same pair of locks in opposite
+// orders — the classic AB/BA deadlock. The lock-order rule must report
+// the cycle at both acquisition sites.
+
+fn transfer(s: &Shared) {
+    let accounts = s.accounts.lock();
+    let journal = s.journal.lock();
+    apply(accounts, journal);
+}
+
+fn audit(s: &Shared) {
+    let journal = s.journal.lock();
+    let accounts = s.accounts.lock();
+    reconcile(journal, accounts);
+}

@@ -1,0 +1,12 @@
+// Fixture: the panicking-API rules. Every statement in `shortcuts`
+// must produce a finding; the missing crate-root attribute is checked
+// by parsing this file at a `lib.rs` path (forbid-unsafe).
+
+fn shortcuts(x: Option<u32>, y: Result<u32, E>) {
+    let a = x.unwrap();
+    let b = y.expect("always ok");
+    panic!("fixture {a} {b}");
+    todo!();
+    dbg!(a);
+    println!("done");
+}

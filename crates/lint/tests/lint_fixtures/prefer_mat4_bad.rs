@@ -1,0 +1,9 @@
+// Fixture: heap-allocated 4x4 matrix in a hot-path crate. The test
+// parses this file at a `crates/sim/src/` path, where prefer-mat4
+// applies.
+
+fn propagator() -> DMat {
+    let mut u = DMat::zeros(4, 4);
+    u.set_identity();
+    u
+}

@@ -113,4 +113,25 @@ mod tests {
         let d = ServiceError::DeadlineExceeded { stage: "lower" };
         assert!(d.to_string().contains("lower"));
     }
+
+    #[test]
+    fn wrapping_variants_display_and_chain() {
+        let compile = ServiceError::Compile(CompileError::Route(
+            nsb_compiler::RouteError::NoSwapCandidates { qubits: (0, 1) },
+        ));
+        assert!(compile.source().is_some(), "Compile wraps its cause");
+        assert!(compile.to_string().contains("routing stalled"));
+
+        let spawn = ServiceError::WorkerSpawn {
+            reason: "resource exhausted".into(),
+        };
+        assert!(spawn.to_string().contains("resource exhausted"));
+        assert!(spawn.source().is_none());
+
+        let store = ServiceError::Store(nsb_store::StoreError::BadMagic {
+            path: "cache.nsb".into(),
+        });
+        assert!(store.source().is_some(), "Store wraps its cause");
+        assert!(store.to_string().contains("cache.nsb"));
+    }
 }

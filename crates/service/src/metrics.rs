@@ -50,12 +50,13 @@ impl ServiceMetrics {
     /// Fraction of shared-cache lookups that hit, in `[0, 1]`; `0` when
     /// no lookup has happened yet.
     pub fn cache_hit_rate(&self) -> f64 {
-        let hits = self.cache_hits.load(Ordering::Relaxed) as f64;
-        let misses = self.cache_misses.load(Ordering::Relaxed) as f64;
-        if hits + misses == 0.0 {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let total = hits + misses;
+        if total == 0 {
             0.0
         } else {
-            hits / (hits + misses)
+            hits as f64 / total as f64
         }
     }
 

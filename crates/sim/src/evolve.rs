@@ -114,7 +114,9 @@ impl Stepper {
                 *slot = Complex64::cis(-s * v * dt);
             }
             for (r, &idx) in self.nc_index.iter().enumerate() {
-                if self.nc_values[idx] == 0.0 {
+                // Exact-zero coupling rows are a no-op phase; ±0.0 both
+                // classify as Zero, matching the old `== 0.0` fast path.
+                if self.nc_values[idx].classify() == std::num::FpCategory::Zero {
                     continue;
                 }
                 let phase = phases[idx];

@@ -394,4 +394,41 @@ mod tests {
         assert!(matches!(store.load(9), Err(StoreError::BadMagic { .. })));
         let _ = fs::remove_dir_all(store.dir());
     }
+
+    #[test]
+    fn io_failure_is_reported_with_path_and_op() {
+        // Opening a store rooted under a regular file fails to create
+        // the directory.
+        let file = std::env::temp_dir().join(format!("nsb-store-flat-{}", std::process::id()));
+        fs::write(&file, b"occupied").expect("write");
+        let err = SnapshotStore::open(file.join("sub")).expect_err("open must fail");
+        match &err {
+            StoreError::Io { path, op, reason } => {
+                assert!(path.ends_with("sub"), "{path:?}");
+                assert!(!op.is_empty() && !reason.is_empty());
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        let _ = fs::remove_file(&file);
+    }
+
+    #[test]
+    fn future_format_version_is_rejected() {
+        let store = temp_store("version");
+        let entries = sample_entries(1);
+        store.save(11, &entries).expect("save");
+        // Bump the version field in the header (bytes 8..12, after the
+        // 8-byte magic) to a future format.
+        let path = store.path_for(11);
+        let mut bytes = fs::read(&path).expect("read");
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&path, bytes).expect("rewrite");
+        match store.load(11) {
+            Err(StoreError::UnsupportedVersion { found, .. }) => {
+                assert_eq!(found, u32::MAX);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(store.dir());
+    }
 }

@@ -1,13 +1,14 @@
 //! Workspace automation driver: `cargo run -p xtask -- <task>`.
 //!
 //! Tasks:
-//! - `lint` — run the static-analysis gate over all library code and exit
-//!   nonzero when any finding survives (used by CI).
+//! - `lint [root] [--json PATH]` — run the `nsb-lint` AST static
+//!   analyzer over all workspace code and exit nonzero when any finding
+//!   survives (used by CI). `--json PATH` additionally writes the
+//!   machine-readable diagnostics report CI uploads as an artifact.
 //! - `doc-links` — verify that every relative link in the repository's
 //!   markdown files resolves to an existing file (used by CI).
 
 mod doclinks;
-mod lint;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,26 +23,53 @@ fn workspace_root() -> PathBuf {
         .unwrap_or(manifest)
 }
 
+/// Parses `[root] [--json PATH]` in either order after the task name.
+fn lint_args(args: &[String]) -> (PathBuf, Option<PathBuf>) {
+    let mut root = None;
+    let mut json = None;
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--json" {
+            json = args.get(i + 1).map(PathBuf::from);
+            i += 2;
+        } else {
+            root.get_or_insert_with(|| PathBuf::from(&args[i]));
+            i += 1;
+        }
+    }
+    (root.unwrap_or_else(workspace_root), json)
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let (root, json_path) = lint_args(args);
+    let findings = nsb_lint::run_workspace(&root);
+    for f in &findings {
+        eprint!("{}", f.render());
+    }
+    if let Some(path) = json_path {
+        let json = nsb_lint::to_json(&findings);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("xtask lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("xtask lint: JSON report written to {}", path.display());
+    }
+    if findings.is_empty() {
+        eprintln!(
+            "xtask lint: clean ({} rules over workspace)",
+            nsb_lint::RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => {
-            let root = args
-                .get(1)
-                .map(PathBuf::from)
-                .unwrap_or_else(workspace_root);
-            let findings = lint::run(&root);
-            for f in &findings {
-                eprint!("{}", f.render());
-            }
-            if findings.is_empty() {
-                eprintln!("xtask lint: clean");
-                ExitCode::SUCCESS
-            } else {
-                eprintln!("xtask lint: {} finding(s)", findings.len());
-                ExitCode::FAILURE
-            }
-        }
+        Some("lint") => run_lint(&args),
         Some("doc-links") => {
             let root = args
                 .get(1)
@@ -61,12 +89,12 @@ fn main() -> ExitCode {
         }
         Some(other) => {
             eprintln!(
-                "xtask: unknown task `{other}`\n\nusage: cargo run -p xtask -- <lint|doc-links> [root]"
+                "xtask: unknown task `{other}`\n\nusage: cargo run -p xtask -- <lint|doc-links> [root] [--json PATH]"
             );
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- <lint|doc-links> [root]");
+            eprintln!("usage: cargo run -p xtask -- <lint|doc-links> [root] [--json PATH]");
             ExitCode::FAILURE
         }
     }
